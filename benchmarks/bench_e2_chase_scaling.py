@@ -1,0 +1,46 @@
+"""E2 — Proposition 3.3: the query-directed chase is linear in the data.
+
+Sweeps office databases of growing size, measures the time to build
+``ch^q_O(D)`` and reports the fitted scaling exponent (a value close to 1
+confirms the linear-preprocessing claim).  The pytest benchmark measures one
+representative chase.
+"""
+
+from repro.bench import print_table, scaling_exponent, time_call
+from repro.workloads import generate_office_database, office_omq
+
+SIZES = (400, 800, 1600, 3200)
+
+
+def test_e2_chase_scaling(benchmark):
+    omq = office_omq()
+    rows = []
+    sizes_in_facts = []
+    times = []
+    for size in SIZES:
+        database = generate_office_database(size, seed=size)
+        elapsed, chased = time_call(omq.chase, database)
+        sizes_in_facts.append(len(database))
+        times.append(elapsed)
+        rows.append(
+            (
+                size,
+                len(database),
+                len(chased.instance),
+                len(chased.nulls()),
+                elapsed * 1000,
+            )
+        )
+    exponent = scaling_exponent(sizes_in_facts, times)
+    print_table(
+        ["researchers", "db facts", "chase facts", "nulls", "time (ms)"],
+        rows,
+        title=(
+            "E2  Query-directed chase scaling (Prop. 3.3); "
+            f"fitted exponent = {exponent:.2f} (1.0 = linear)"
+        ),
+    )
+    assert exponent < 1.6, "chase construction should scale roughly linearly"
+
+    database = generate_office_database(800, seed=800)
+    benchmark(omq.chase, database)

@@ -1,0 +1,71 @@
+"""E3 — Theorem 3.1(1): single-testing complete answers in linear time.
+
+Sweeps office databases, measuring (a) the preprocessing (chase) time and
+(b) the time to single-test a batch of candidate answers, compared against
+the naive baseline that materialises all certain answers first.  The
+per-test time should stay flat while the naive baseline grows with the data.
+"""
+
+import random
+import time
+
+from repro.baselines import naive_certain_answers
+from repro.bench import print_table, scaling_exponent, time_call
+from repro.core import OMQSingleTester
+from repro.workloads import generate_office_database, office_omq
+
+SIZES = (400, 800, 1600, 3200)
+TESTS_PER_SIZE = 50
+
+
+def _candidates(database, rng, count):
+    adom = sorted(database.adom(), key=repr)
+    return [tuple(rng.choice(adom) for _ in range(3)) for _ in range(count)]
+
+
+def test_e3_single_testing_complete(benchmark):
+    omq = office_omq()
+    rng = random.Random(0)
+    rows = []
+    db_sizes, test_times = [], []
+    for size in SIZES:
+        database = generate_office_database(size, seed=size)
+        candidates = _candidates(database, rng, TESTS_PER_SIZE)
+        preprocessing, tester = time_call(OMQSingleTester, omq, database)
+        start = time.perf_counter()
+        for candidate in candidates:
+            tester.test_complete(candidate)
+        per_test = (time.perf_counter() - start) / len(candidates)
+        naive_time, _ = time_call(naive_certain_answers, omq, database)
+        rows.append(
+            (
+                size,
+                len(database),
+                preprocessing * 1000,
+                per_test * 1e6,
+                naive_time * 1000,
+            )
+        )
+        db_sizes.append(len(database))
+        test_times.append(preprocessing + per_test * len(candidates))
+    exponent = scaling_exponent(db_sizes, test_times)
+    print_table(
+        [
+            "researchers",
+            "db facts",
+            "preprocess (ms)",
+            "per test (µs)",
+            "naive materialise (ms)",
+        ],
+        rows,
+        title=(
+            "E3  Single-testing complete answers (Thm 3.1(1)); "
+            f"fitted exponent of preprocess+tests = {exponent:.2f}"
+        ),
+    )
+    assert exponent < 1.6
+
+    database = generate_office_database(800, seed=800)
+    tester = OMQSingleTester(omq, database)
+    candidate = next(iter(naive_certain_answers(omq, database)), ("a", "b", "c"))
+    benchmark(tester.test_complete, candidate)

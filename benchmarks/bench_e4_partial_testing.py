@@ -1,0 +1,70 @@
+"""E4 — Theorem 3.1(2,3): single-testing minimal partial answers.
+
+Measures single-testing of minimal partial answers with a single wildcard
+and with multi-wildcards on office databases of growing size.  The tested
+tuples are actual minimal partial answers (taken from the enumeration), so
+every test exercises both the partial-answer check and the minimality check.
+"""
+
+import time
+
+from repro.bench import print_table, scaling_exponent, time_call
+from repro.core import MinimalPartialAnswerEnumerator, MultiWildcardEnumerator, OMQSingleTester
+from repro.workloads import generate_office_database, office_omq
+
+SIZES = (400, 800, 1600)
+TESTS_PER_SIZE = 30
+
+
+def test_e4_single_testing_partial(benchmark):
+    omq = office_omq()
+    rows = []
+    db_sizes, totals = [], []
+    for size in SIZES:
+        database = generate_office_database(size, seed=size)
+        single_answers = list(MinimalPartialAnswerEnumerator(omq, database))[:TESTS_PER_SIZE]
+        multi_answers = list(MultiWildcardEnumerator(omq, database))[:TESTS_PER_SIZE]
+        preprocessing, tester = time_call(OMQSingleTester, omq, database)
+
+        start = time.perf_counter()
+        for answer in single_answers:
+            assert tester.test_minimal_partial(answer)
+        single_per_test = (time.perf_counter() - start) / max(1, len(single_answers))
+
+        start = time.perf_counter()
+        for answer in multi_answers:
+            assert tester.test_minimal_partial_multi(answer)
+        multi_per_test = (time.perf_counter() - start) / max(1, len(multi_answers))
+
+        rows.append(
+            (
+                size,
+                len(database),
+                preprocessing * 1000,
+                single_per_test * 1e6,
+                multi_per_test * 1e6,
+            )
+        )
+        db_sizes.append(len(database))
+        totals.append(preprocessing + single_per_test * len(single_answers))
+    exponent = scaling_exponent(db_sizes, totals)
+    print_table(
+        [
+            "researchers",
+            "db facts",
+            "preprocess (ms)",
+            "single-wildcard test (µs)",
+            "multi-wildcard test (µs)",
+        ],
+        rows,
+        title=(
+            "E4  Single-testing minimal partial answers (Thm 3.1(2,3)); "
+            f"fitted exponent = {exponent:.2f}"
+        ),
+    )
+    assert exponent < 1.7
+
+    database = generate_office_database(400, seed=400)
+    tester = OMQSingleTester(omq, database)
+    answer = next(iter(MinimalPartialAnswerEnumerator(omq, database)))
+    benchmark(tester.test_minimal_partial, answer)

@@ -1,0 +1,88 @@
+"""E5 — Theorem 4.1(1): CD∘Lin enumeration of complete answers.
+
+Sweeps office and university databases, reporting preprocessing time (should
+grow linearly) and the mean / 95th-percentile delay between consecutive
+answers (should stay flat as the data grows).  The naive baseline
+materialises every homomorphism before producing output.
+"""
+
+from repro.baselines import naive_certain_answers
+from repro.bench import measure_enumeration, print_table, scaling_exponent, time_call
+from repro.core import CompleteAnswerEnumerator
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+SIZES = (400, 800, 1600, 3200)
+
+
+def _sweep(omq, generator, label):
+    rows = []
+    sizes, preprocessing_times, mean_delays = [], [], []
+    for size in SIZES:
+        database = generator(size, seed=size)
+        profile = measure_enumeration(
+            lambda db=database: CompleteAnswerEnumerator(omq, db)
+        )
+        naive_time, _ = time_call(naive_certain_answers, omq, database)
+        rows.append(
+            (
+                size,
+                len(database),
+                profile.preprocessing_seconds * 1000,
+                profile.answer_count,
+                profile.mean_delay * 1e6,
+                profile.percentile_delay(0.95) * 1e6,
+                naive_time * 1000,
+            )
+        )
+        sizes.append(len(database))
+        preprocessing_times.append(profile.preprocessing_seconds)
+        mean_delays.append(profile.mean_delay)
+    preprocessing_exponent = scaling_exponent(sizes, preprocessing_times)
+    delay_exponent = scaling_exponent(sizes, mean_delays)
+    print_table(
+        [
+            "size",
+            "db facts",
+            "preprocess (ms)",
+            "answers",
+            "mean delay (µs)",
+            "p95 delay (µs)",
+            "naive total (ms)",
+        ],
+        rows,
+        title=(
+            f"E5  Complete-answer enumeration, {label} workload (Thm 4.1(1)); "
+            f"preprocessing exponent = {preprocessing_exponent:.2f}, "
+            f"delay exponent = {delay_exponent:.2f} (0 = constant)"
+        ),
+    )
+    return preprocessing_exponent, delay_exponent
+
+
+def test_e5_enumeration_office(benchmark):
+    preprocessing_exponent, delay_exponent = _sweep(
+        office_omq(), generate_office_database, "office"
+    )
+    assert preprocessing_exponent < 1.6
+    assert delay_exponent < 0.5, "delay must not grow with the database"
+
+    omq = office_omq()
+    database = generate_office_database(800, seed=800)
+    benchmark(lambda: list(CompleteAnswerEnumerator(omq, database)))
+
+
+def test_e5_enumeration_university(benchmark):
+    preprocessing_exponent, delay_exponent = _sweep(
+        university_omq(), generate_university_database, "university"
+    )
+    assert preprocessing_exponent < 1.6
+    assert delay_exponent < 0.5
+
+    omq = university_omq()
+    database = generate_university_database(800, seed=800)
+    benchmark(lambda: list(CompleteAnswerEnumerator(omq, database)))

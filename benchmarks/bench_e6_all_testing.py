@@ -1,0 +1,68 @@
+"""E6 — Theorem 4.1(2) / Proposition 4.2: all-testing complete answers.
+
+After linear preprocessing, each membership test must take time independent
+of the database.  The sweep grows the database and keeps the number of tests
+fixed; per-test time should stay flat.
+"""
+
+import random
+import time
+
+from repro.bench import print_table, scaling_exponent, time_call
+from repro.core import OMQAllTester
+from repro.workloads import generate_office_database, office_omq
+
+SIZES = (400, 800, 1600, 3200)
+TESTS_PER_SIZE = 2000
+
+
+def test_e6_all_testing(benchmark):
+    omq = office_omq()
+    rng = random.Random(1)
+    rows = []
+    sizes, per_test_times = [], []
+    for size in SIZES:
+        database = generate_office_database(size, seed=size)
+        adom = sorted(database.adom(), key=repr)
+        candidates = [
+            tuple(rng.choice(adom) for _ in range(3)) for _ in range(TESTS_PER_SIZE)
+        ]
+        preprocessing, tester = time_call(OMQAllTester, omq, database)
+        start = time.perf_counter()
+        positives = sum(1 for candidate in candidates if tester.test(candidate))
+        per_test = (time.perf_counter() - start) / len(candidates)
+        rows.append(
+            (
+                size,
+                len(database),
+                preprocessing * 1000,
+                TESTS_PER_SIZE,
+                positives,
+                per_test * 1e6,
+            )
+        )
+        sizes.append(len(database))
+        per_test_times.append(per_test)
+    exponent = scaling_exponent(sizes, per_test_times)
+    print_table(
+        [
+            "researchers",
+            "db facts",
+            "preprocess (ms)",
+            "tests",
+            "positive",
+            "per test (µs)",
+        ],
+        rows,
+        title=(
+            "E6  All-testing complete answers (Thm 4.1(2)); "
+            f"per-test scaling exponent = {exponent:.2f} (0 = constant)"
+        ),
+    )
+    assert exponent < 0.5
+
+    database = generate_office_database(800, seed=800)
+    tester = OMQAllTester(omq, database)
+    adom = sorted(database.adom(), key=repr)
+    candidate = (adom[0], adom[1], adom[2])
+    benchmark(tester.test, candidate)

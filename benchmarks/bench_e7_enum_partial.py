@@ -1,0 +1,114 @@
+"""E7 — Theorem 5.2 / Algorithm 1: enumerating minimal partial answers.
+
+The headline result of the paper: minimal partial answers with a single
+wildcard are enumerated with linear preprocessing and constant delay.  The
+sweep reports preprocessing time, answer counts (broken down by number of
+wildcards), mean and p95 delay, and the naive baseline that materialises and
+minimises every homomorphism.  Proposition 2.1 (complete answers first) is
+exercised as part of the benchmark body.
+"""
+
+from repro.baselines import naive_minimal_partial_answers
+from repro.bench import measure_enumeration, print_table, scaling_exponent, time_call
+from repro.core import WILDCARD, MinimalPartialAnswerEnumerator
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+SIZES = (400, 800, 1600, 3200)
+
+
+def _sweep(omq, generator, label):
+    rows = []
+    sizes, preprocessing_times, mean_delays = [], [], []
+    for size in SIZES:
+        database = generator(size, seed=size)
+        profile = measure_enumeration(
+            lambda db=database: MinimalPartialAnswerEnumerator(omq, db)
+        )
+        naive_time, naive_answers = time_call(
+            naive_minimal_partial_answers, omq, database
+        )
+        rows.append(
+            (
+                size,
+                len(database),
+                profile.preprocessing_seconds * 1000,
+                profile.answer_count,
+                profile.mean_delay * 1e6,
+                profile.percentile_delay(0.95) * 1e6,
+                naive_time * 1000,
+            )
+        )
+        assert profile.answer_count == len(naive_answers)
+        sizes.append(len(database))
+        preprocessing_times.append(profile.preprocessing_seconds)
+        mean_delays.append(profile.mean_delay)
+    preprocessing_exponent = scaling_exponent(sizes, preprocessing_times)
+    delay_exponent = scaling_exponent(sizes, mean_delays)
+    print_table(
+        [
+            "size",
+            "db facts",
+            "preprocess (ms)",
+            "answers",
+            "mean delay (µs)",
+            "p95 delay (µs)",
+            "naive total (ms)",
+        ],
+        rows,
+        title=(
+            f"E7  Minimal partial answer enumeration, {label} workload "
+            f"(Thm 5.2 / Algorithm 1); preprocessing exponent = "
+            f"{preprocessing_exponent:.2f}, delay exponent = {delay_exponent:.2f}"
+        ),
+    )
+    return preprocessing_exponent, delay_exponent
+
+
+def test_e7_partial_enumeration_office(benchmark):
+    preprocessing_exponent, delay_exponent = _sweep(
+        office_omq(), generate_office_database, "office"
+    )
+    assert preprocessing_exponent < 1.6
+    assert delay_exponent < 0.5
+
+    omq = office_omq()
+    database = generate_office_database(800, seed=800)
+    benchmark(lambda: list(MinimalPartialAnswerEnumerator(omq, database)))
+
+
+def test_e7_partial_enumeration_university(benchmark):
+    preprocessing_exponent, delay_exponent = _sweep(
+        university_omq(), generate_university_database, "university"
+    )
+    assert preprocessing_exponent < 1.6
+    assert delay_exponent < 0.5
+
+    omq = university_omq()
+    database = generate_university_database(800, seed=800)
+    benchmark(lambda: list(MinimalPartialAnswerEnumerator(omq, database)))
+
+
+def test_e7_complete_answers_first(benchmark):
+    """Proposition 2.1: the combined enumerator outputs complete answers first."""
+    omq = office_omq()
+    database = generate_office_database(400, seed=400)
+
+    def run():
+        ordered = list(
+            MinimalPartialAnswerEnumerator(omq, database).enumerate_complete_first()
+        )
+        wildcard_seen = False
+        for answer in ordered:
+            if any(value is WILDCARD for value in answer):
+                wildcard_seen = True
+            else:
+                assert not wildcard_seen
+        return len(ordered)
+
+    count = benchmark(run)
+    assert count > 0

@@ -1,0 +1,79 @@
+"""Quickstart: the running example of the paper (Example 1.1).
+
+Builds the office ontology, a small database about researchers and offices,
+and shows every evaluation mode the library offers: complete answers,
+minimal partial answers with a single wildcard, minimal partial answers with
+multi-wildcards, single-testing and all-testing.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.core import (
+    OMQ,
+    WILDCARD,
+    CompleteAnswerEnumerator,
+    MinimalPartialAnswerEnumerator,
+    MultiWildcardEnumerator,
+    OMQAllTester,
+    OMQSingleTester,
+)
+
+
+def main() -> None:
+    ontology = parse_ontology(
+        """
+        Researcher(x) -> HasOffice(x, y)
+        HasOffice(x, y) -> Office(y)
+        Office(x) -> InBuilding(x, y)
+        """,
+        name="office",
+    )
+    query = parse_query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+    omq = OMQ.from_parts(ontology, query, name="Q_office")
+
+    database = Database(
+        [
+            Fact("Researcher", ("mary",)),
+            Fact("Researcher", ("john",)),
+            Fact("Researcher", ("mike",)),
+            Fact("HasOffice", ("mary", "room1")),
+            Fact("HasOffice", ("john", "room4")),
+            Fact("InBuilding", ("room1", "main1")),
+        ]
+    )
+
+    print("OMQ:", omq)
+    print("acyclic:", omq.is_acyclic(), " free-connex acyclic:", omq.is_free_connex_acyclic())
+    print()
+
+    print("Complete answers (Theorem 4.1):")
+    for answer in CompleteAnswerEnumerator(omq, database):
+        print("  ", answer)
+    print()
+
+    print("Minimal partial answers, single wildcard (Theorem 5.2):")
+    for answer in MinimalPartialAnswerEnumerator(omq, database):
+        print("  ", answer)
+    print()
+
+    print("Minimal partial answers, multi-wildcards (Theorem 6.1):")
+    for answer in MultiWildcardEnumerator(omq, database):
+        print("  ", answer)
+    print()
+
+    tester = OMQSingleTester(omq, database)
+    print("Single tests (Theorem 3.1):")
+    print("  (mary, room1, main1) complete?   ", tester.test_complete(("mary", "room1", "main1")))
+    print("  (john, room4, *) minimal partial?", tester.test_minimal_partial(("john", "room4", WILDCARD)))
+    print("  (john, *, *) minimal partial?    ", tester.test_minimal_partial(("john", WILDCARD, WILDCARD)))
+    print()
+
+    all_tester = OMQAllTester(omq, database)
+    print("All-testing (Theorem 4.1(2)):")
+    print("  (mary, room1, main1):", all_tester.test(("mary", "room1", "main1")))
+    print("  (john, room4, main1):", all_tester.test(("john", "room4", "main1")))
+
+
+if __name__ == "__main__":
+    main()

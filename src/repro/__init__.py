@@ -1,0 +1,31 @@
+"""repro: constant-delay enumeration of answers to ontology-mediated queries.
+
+A from-scratch Python reproduction of Lutz & Przybylko, "Efficiently
+Enumerating Answers to Ontology-Mediated Queries" (PODS 2022).  The public
+API re-exports the most commonly used classes; see ``README.md`` for a tour
+and ``DESIGN.md`` for the system inventory.
+"""
+
+from repro.data import Database, Fact, Instance, Schema
+from repro.cq import Atom, ConjunctiveQuery, Variable, parse_query
+from repro.tgds import TGD, Ontology, parse_ontology, parse_tgd
+from repro.chase import chase, query_directed_chase
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "Fact",
+    "Instance",
+    "Ontology",
+    "Schema",
+    "TGD",
+    "Variable",
+    "chase",
+    "parse_ontology",
+    "parse_query",
+    "parse_tgd",
+    "query_directed_chase",
+]
+
+__version__ = "0.1.0"

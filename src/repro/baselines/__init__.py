@@ -1,0 +1,17 @@
+"""Brute-force reference implementations used by tests and benchmarks."""
+
+from repro.baselines.naive import (
+    naive_certain_answers,
+    naive_minimal_partial_answers,
+    naive_minimal_partial_answers_multi,
+    naive_partial_answers,
+    naive_single_test,
+)
+
+__all__ = [
+    "naive_certain_answers",
+    "naive_minimal_partial_answers",
+    "naive_minimal_partial_answers_multi",
+    "naive_partial_answers",
+    "naive_single_test",
+]

@@ -1,0 +1,15 @@
+"""Shared measurement and reporting helpers for the benchmark harness."""
+
+from repro.bench.timing import DelayProfile, measure_enumeration, time_call
+from repro.bench.tables import format_table, print_table
+from repro.bench.fit import linear_fit, scaling_exponent
+
+__all__ = [
+    "DelayProfile",
+    "format_table",
+    "linear_fit",
+    "measure_enumeration",
+    "print_table",
+    "scaling_exponent",
+    "time_call",
+]

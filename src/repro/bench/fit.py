@@ -1,0 +1,44 @@
+"""Tiny scaling diagnostics: least-squares fits on benchmark series.
+
+Used to summarise whether a measured time series grows linearly (slope of a
+straight-line fit, reported with its R²) or polynomially (exponent of a
+log–log fit).  Pure Python, no numpy dependency, so the helpers work in any
+environment the library runs in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares fit ``y ≈ a·x + b``; returns ``(a, b, r_squared)``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def scaling_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The exponent ``e`` of the best power-law fit ``y ≈ c·x^e``.
+
+    Computed as the slope of the least-squares line in log–log space; points
+    with non-positive coordinates are ignored.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return 0.0
+    log_x = [math.log(x) for x, _ in pairs]
+    log_y = [math.log(y) for _, y in pairs]
+    slope, _, _ = linear_fit(log_x, log_y)
+    return slope

@@ -1,0 +1,49 @@
+"""Plain-text result tables shared by every benchmark script."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.4f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width table as a string."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> None:
+    """Print a fixed-width table (used by the ``benchmarks/`` scripts)."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,83 @@
+"""Timing helpers: preprocessing time and per-answer delay profiles.
+
+The paper's claims separate a preprocessing phase (linear in the data) from
+an enumeration phase whose delay must not depend on the data.  The helpers
+here measure both for any enumerator that follows the library's two-phase
+protocol (constructor = preprocessing, ``enumerate()`` = enumeration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+
+def time_call(function: Callable, *args, **kwargs) -> tuple[float, object]:
+    """Run ``function`` once and return ``(elapsed_seconds, result)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+@dataclass
+class DelayProfile:
+    """Preprocessing time and the distribution of inter-answer delays."""
+
+    preprocessing_seconds: float
+    answer_count: int
+    total_enumeration_seconds: float
+    delays: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    def percentile_delay(self, fraction: float) -> float:
+        if not self.delays:
+            return 0.0
+        ordered = sorted(self.delays)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+def measure_enumeration(
+    preprocess: Callable[[], object],
+    enumerate_from: Callable[[object], Iterator] | None = None,
+    max_answers: int | None = None,
+) -> DelayProfile:
+    """Measure a two-phase enumerator.
+
+    ``preprocess`` builds the enumerator (its runtime is the preprocessing
+    time); ``enumerate_from`` turns it into an iterator (defaults to calling
+    ``.enumerate()``).  Delays are wall-clock gaps between consecutive
+    answers; ``max_answers`` truncates very large enumerations.
+    """
+    preprocessing_seconds, enumerator = time_call(preprocess)
+    if enumerate_from is None:
+        iterator: Iterable = enumerator.enumerate()
+    else:
+        iterator = enumerate_from(enumerator)
+
+    delays: list[float] = []
+    answer_count = 0
+    start = time.perf_counter()
+    previous = start
+    for _ in iterator:
+        now = time.perf_counter()
+        delays.append(now - previous)
+        previous = now
+        answer_count += 1
+        if max_answers is not None and answer_count >= max_answers:
+            break
+    total = time.perf_counter() - start
+    return DelayProfile(
+        preprocessing_seconds=preprocessing_seconds,
+        answer_count=answer_count,
+        total_enumeration_seconds=total,
+        delays=delays,
+    )

@@ -1,0 +1,13 @@
+"""The chase procedure and the query-directed chase of Section 3."""
+
+from repro.chase.standard import ChaseResult, chase
+from repro.chase.query_directed import QueryDirectedChase, query_directed_chase
+from repro.chase.horn_chase import horn_saturation
+
+__all__ = [
+    "ChaseResult",
+    "QueryDirectedChase",
+    "chase",
+    "horn_saturation",
+    "query_directed_chase",
+]

@@ -1,0 +1,199 @@
+"""The (restricted) chase for sets of TGDs.
+
+The chase makes the consequences of an ontology explicit in an instance by
+repeatedly firing TGDs whose body matches but whose head is not yet
+satisfied, inventing fresh labelled nulls for existential variables.  We
+implement the *restricted* (standard) chase with round-based fairness; the
+*oblivious* chase of the paper (fire every trigger regardless of head
+satisfaction) is available behind a flag and is only useful for small inputs
+because it rarely terminates on ontologies with existentials.
+
+Guarded ontologies may still have an infinite chase, so callers can bound the
+run by the *null depth*: a null created by a trigger whose frontier image has
+depth ``d`` gets depth ``d + 1`` (database constants have depth 0), and
+triggers that would create nulls beyond ``max_null_depth`` are skipped.  The
+query-directed chase of :mod:`repro.chase.query_directed` chooses this bound
+from the query so that the truncation is invisible to query evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.data.facts import Fact
+from repro.data.instance import Instance
+from repro.data.terms import Null, NullFactory, is_null
+from repro.cq.atoms import Variable, is_variable
+from repro.cq.homomorphism import all_homomorphisms, find_homomorphism
+from repro.cq.query import ConjunctiveQuery
+from repro.tgds.ontology import Ontology
+from repro.tgds.tgd import TGD
+
+
+class ChaseNotTerminating(RuntimeError):
+    """Raised when a chase run exceeds its fact or round budget."""
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase run."""
+
+    instance: Instance
+    base_constants: frozenset
+    null_depth: dict[Null, int] = field(default_factory=dict)
+    rounds: int = 0
+    fired_triggers: int = 0
+    truncated: bool = False
+
+    def nulls(self) -> set[Null]:
+        return set(self.null_depth)
+
+    def database_part(self) -> Instance:
+        """The facts that mention only original database constants."""
+        return Instance(
+            fact for fact in self.instance if not fact.has_null()
+        )
+
+    def null_blocks(self) -> list[tuple[set[Null], set]]:
+        """Group the nulls into connected blocks.
+
+        Two nulls belong to the same block when they co-occur in a fact
+        (directly or transitively).  Each block is returned together with the
+        set of database constants adjacent to it; block plus adjacent
+        constants is one "witness" of the chase-like structure (Lemma C.3).
+        """
+        parent: dict[Null, Null] = {}
+
+        def find(node: Null) -> Null:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a: Null, b: Null) -> None:
+            parent[find(a)] = find(b)
+
+        for null in self.null_depth:
+            parent.setdefault(null, null)
+        adjacency: dict[Null, set] = {null: set() for null in parent}
+        for fact in self.instance:
+            fact_nulls = [a for a in fact.args if is_null(a)]
+            if not fact_nulls:
+                continue
+            for null in fact_nulls:
+                parent.setdefault(null, null)
+                adjacency.setdefault(null, set())
+            first = fact_nulls[0]
+            for other in fact_nulls[1:]:
+                union(first, other)
+            fact_constants = {a for a in fact.args if not is_null(a)}
+            for null in fact_nulls:
+                adjacency[null] |= fact_constants
+
+        blocks: dict[Null, tuple[set[Null], set]] = {}
+        for null in parent:
+            root = find(null)
+            block = blocks.setdefault(root, (set(), set()))
+            block[0].add(null)
+            block[1].update(adjacency[null])
+        return list(blocks.values())
+
+
+def _head_satisfied(
+    tgd: TGD, frontier_map: dict[Variable, object], instance: Instance
+) -> bool:
+    """True if the head of ``tgd`` is already satisfied at this trigger."""
+    head_query = ConjunctiveQuery(
+        sorted(tgd.frontier_variables(), key=lambda v: v.name), tgd.head
+    )
+    return find_homomorphism(head_query, instance, partial=frontier_map) is not None
+
+
+def _trigger_key(tgd_index: int, body_map: dict[Variable, object]) -> tuple:
+    return (tgd_index, tuple(sorted(body_map.items(), key=lambda kv: kv[0].name)))
+
+
+def chase(
+    database: Instance,
+    ontology: Ontology,
+    max_null_depth: int | None = None,
+    max_facts: int = 1_000_000,
+    max_rounds: int = 10_000,
+    oblivious: bool = False,
+) -> ChaseResult:
+    """Run the chase of ``database`` with ``ontology``.
+
+    Returns a :class:`ChaseResult` whose instance contains the original
+    facts.  ``max_null_depth`` truncates the run as described in the module
+    docstring (``truncated`` is set when at least one trigger was skipped for
+    this reason); ``max_facts`` / ``max_rounds`` are hard safety budgets that
+    raise :class:`ChaseNotTerminating` when exhausted.
+    """
+    instance = Instance(database)
+    base_constants = frozenset(instance.constants())
+    null_depth: dict[Null, int] = {}
+    fresh = NullFactory()
+    result = ChaseResult(instance, base_constants, null_depth)
+    fired: set[tuple] = set()
+
+    def depth_of(element: object) -> int:
+        if is_null(element):
+            return null_depth.get(element, 0)
+        return 0
+
+    tgds = list(ontology)
+    changed = True
+    while changed:
+        changed = False
+        result.rounds += 1
+        if result.rounds > max_rounds:
+            raise ChaseNotTerminating(f"chase exceeded {max_rounds} rounds")
+        for tgd_index, tgd in enumerate(tgds):
+            body_query = ConjunctiveQuery([], tgd.body) if tgd.body else None
+            if body_query is None:
+                body_maps: Iterable[dict[Variable, object]] = [{}]
+            else:
+                body_maps = all_homomorphisms(body_query, instance)
+            for body_map in body_maps:
+                frontier_map = {
+                    v: body_map[v] for v in tgd.frontier_variables()
+                }
+                if oblivious:
+                    key = _trigger_key(tgd_index, body_map)
+                    if key in fired:
+                        continue
+                else:
+                    key = _trigger_key(tgd_index, frontier_map)
+                    if key in fired:
+                        continue
+                    if _head_satisfied(tgd, frontier_map, instance):
+                        continue
+                trigger_depth = max(
+                    (depth_of(v) for v in frontier_map.values()), default=0
+                )
+                if max_null_depth is not None and tgd.existential_variables():
+                    if trigger_depth + 1 > max_null_depth:
+                        result.truncated = True
+                        continue
+                fired.add(key)
+                head_map = dict(frontier_map)
+                for variable in tgd.existential_variables():
+                    null = fresh()
+                    null_depth[null] = trigger_depth + 1
+                    head_map[variable] = null
+                for atom in tgd.head:
+                    new_fact = atom.to_fact(head_map)
+                    if instance.add(new_fact):
+                        changed = True
+                result.fired_triggers += 1
+                if len(instance) > max_facts:
+                    raise ChaseNotTerminating(
+                        f"chase exceeded {max_facts} facts"
+                    )
+    return result
+
+
+def certain_facts(result: ChaseResult) -> set[Fact]:
+    """The facts of the chase that use only original database constants."""
+    return {fact for fact in result.instance if not fact.has_null()}

@@ -1,0 +1,57 @@
+"""The paper's core contribution: OMQ testing and constant-delay enumeration."""
+
+from repro.core.omq import OMQ
+from repro.core.wildcards import (
+    WILDCARD,
+    Wildcard,
+    ball,
+    collapse_nulls,
+    collapse_nulls_multi,
+    cone,
+    leq_multi,
+    leq_partial,
+    lt_multi,
+    lt_partial,
+    minimal_multi_tuples,
+    minimal_partial_tuples,
+)
+from repro.core.testing import OMQAllTester, OMQSingleTester
+from repro.core.enumeration import CompleteAnswerEnumerator, enumerate_complete_answers
+from repro.core.progress import (
+    MinimalPartialAnswerEnumerator,
+    PartialAnswerEnumerator,
+    ProgressTree,
+    enumerate_minimal_partial_answers,
+)
+from repro.core.multiwildcard import (
+    MultiWildcardEnumerator,
+    MultiWildcardOracle,
+    enumerate_multiwildcard_answers,
+)
+
+__all__ = [
+    "OMQ",
+    "WILDCARD",
+    "Wildcard",
+    "OMQAllTester",
+    "OMQSingleTester",
+    "CompleteAnswerEnumerator",
+    "MinimalPartialAnswerEnumerator",
+    "MultiWildcardEnumerator",
+    "MultiWildcardOracle",
+    "PartialAnswerEnumerator",
+    "ProgressTree",
+    "ball",
+    "collapse_nulls",
+    "collapse_nulls_multi",
+    "cone",
+    "enumerate_complete_answers",
+    "enumerate_minimal_partial_answers",
+    "enumerate_multiwildcard_answers",
+    "leq_multi",
+    "leq_partial",
+    "lt_multi",
+    "lt_partial",
+    "minimal_multi_tuples",
+    "minimal_partial_tuples",
+]

@@ -1,0 +1,48 @@
+"""Conjunctive queries and their structural properties.
+
+Provides the CQ data model (variables, atoms, queries), a small text parser,
+the Gaifman graph and hypergraph views, the GYO reduction and join trees, and
+the acyclicity notions of the paper: acyclic, weakly acyclic, free-connex
+acyclic, self-join free, connected, full and bad paths.
+"""
+
+from repro.cq.atoms import Atom, Variable, constants_of, variables_of
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.hypergraph import Hypergraph, gyo_reduction, is_alpha_acyclic
+from repro.cq.jointree import JoinTree, build_join_tree
+from repro.cq.acyclicity import (
+    bad_paths,
+    is_acyclic,
+    is_free_connex_acyclic,
+    is_weakly_acyclic,
+)
+from repro.cq.homomorphism import (
+    all_homomorphisms,
+    evaluate,
+    find_homomorphism,
+    is_homomorphism,
+)
+
+__all__ = [
+    "Atom",
+    "Variable",
+    "ConjunctiveQuery",
+    "Hypergraph",
+    "JoinTree",
+    "all_homomorphisms",
+    "bad_paths",
+    "build_join_tree",
+    "constants_of",
+    "evaluate",
+    "find_homomorphism",
+    "gyo_reduction",
+    "is_acyclic",
+    "is_alpha_acyclic",
+    "is_free_connex_acyclic",
+    "is_homomorphism",
+    "is_weakly_acyclic",
+    "parse_atom",
+    "parse_query",
+    "variables_of",
+]

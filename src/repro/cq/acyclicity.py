@@ -1,0 +1,162 @@
+"""Acyclicity notions for conjunctive queries (Figure 1 of the paper).
+
+* *acyclic*: the query has a join tree;
+* *weakly acyclic*: the query becomes acyclic after replacing the answer
+  variables by fresh constants;
+* *free-connex acyclic*: adding an atom that guards the answer variables
+  yields an acyclic query.
+
+Acyclicity and free-connex acyclicity are independent; each implies weak
+acyclicity.  The module also provides *bad paths*, the characterisation of
+acyclic queries that fail to be free-connex acyclic used by Theorem 4.4.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.cq.atoms import Atom, Variable
+from repro.cq.hypergraph import atom_hypergraph, is_alpha_acyclic
+from repro.cq.jointree import JoinTree, build_join_tree, guard_atom
+from repro.cq.query import ConjunctiveQuery
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """True if the query has a join tree."""
+    return is_alpha_acyclic(atom_hypergraph(list(query.atoms)))
+
+
+def join_tree(query: ConjunctiveQuery) -> JoinTree | None:
+    """A join tree of the query, or ``None`` if the query is cyclic."""
+    return build_join_tree(query.atoms)
+
+
+def is_weakly_acyclic(query: ConjunctiveQuery) -> bool:
+    """True if the query is acyclic after freezing its answer variables."""
+    freeze = {v: ("frozen", v.name) for v in query.answer_variables}
+    return is_alpha_acyclic(atom_hypergraph(list(query.atoms), freeze=freeze))
+
+
+def extended_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``q⁺``: the query extended with a fresh atom guarding the head."""
+    guard = guard_atom(query.answer_variables)
+    return ConjunctiveQuery(
+        query.answer_variables,
+        set(query.atoms) | {guard},
+        name=f"{query.name}_plus",
+    )
+
+
+def is_free_connex_acyclic(query: ConjunctiveQuery) -> bool:
+    """True if ``q⁺`` (query plus answer-variable guard) is acyclic."""
+    guard = guard_atom(query.answer_variables)
+    return is_alpha_acyclic(atom_hypergraph(list(query.atoms) + [guard]))
+
+
+def classify(query: ConjunctiveQuery) -> dict[str, bool]:
+    """Classify a query by every notion used in the paper (Figure 1)."""
+    return {
+        "acyclic": is_acyclic(query),
+        "free_connex_acyclic": is_free_connex_acyclic(query),
+        "weakly_acyclic": is_weakly_acyclic(query),
+        "self_join_free": query.is_self_join_free(),
+        "connected": query.is_connected(),
+        "full": query.is_full(),
+    }
+
+
+def bad_paths(query: ConjunctiveQuery) -> list[list[Variable]]:
+    """All *bad paths* of the query.
+
+    A bad path is a sequence of variables ``y1, ..., yn`` (n >= 3) such that
+    ``y1`` and ``yn`` are distinct answer variables, the inner variables are
+    quantified, consecutive variables are adjacent in the Gaifman graph, and
+    ``{y1, yn}`` is not an edge of the Gaifman graph.  An acyclic CQ is
+    free-connex acyclic iff it has no bad path (Bagan et al.).
+
+    One shortest witness is reported per ordered pair of endpoint answer
+    variables.
+    """
+    graph = query.gaifman_graph()
+    answer = set(query.answer_variables)
+    quantified = query.quantified_variables()
+    found: list[list[Variable]] = []
+
+    for start in sorted(answer, key=lambda v: v.name):
+        # BFS from `start` where every intermediate vertex is quantified.
+        parents: dict[Variable, Variable | None] = {start: None}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[Variable] = []
+            for node in frontier:
+                for neighbor in sorted(graph[node], key=lambda v: v.name):
+                    if neighbor in parents:
+                        continue
+                    parents[neighbor] = node
+                    if neighbor in quantified:
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        for end in sorted(answer, key=lambda v: v.name):
+            if end == start or end not in parents or end in graph[start]:
+                continue
+            path = [end]
+            current = parents[end]
+            while current is not None:
+                path.append(current)
+                current = parents[current]
+            path = list(reversed(path))
+            if len(path) >= 3:
+                found.append(path)
+    return found
+
+
+def has_bad_path(query: ConjunctiveQuery) -> bool:
+    """True if the query has at least one bad path."""
+    return bool(bad_paths(query))
+
+
+def figure1_examples() -> list[tuple[str, ConjunctiveQuery, dict[str, bool]]]:
+    """The five example CQs of Figure 1 together with their classification.
+
+    The figure shows Gaifman graphs with hollow nodes for quantified
+    variables; the concrete queries below realise those graphs with binary
+    relations.  They exercise every combination of acyclic (ac), free-connex
+    acyclic (fc) and weakly acyclic (wac) that the figure illustrates.
+    """
+    x, y, z, u = (Variable(n) for n in ("x", "y", "z", "u"))
+
+    examples = []
+
+    # 1. A path of answer variables: ac, fc and wac.
+    q1 = ConjunctiveQuery((x, y, z), [Atom("R", (x, y)), Atom("S", (y, z))], name="path_free")
+    examples.append(("free path", q1, classify(q1)))
+
+    # 2. The matrix-multiplication pattern: ac and wac but not fc.
+    q2 = ConjunctiveQuery((x, y), [Atom("R", (x, z)), Atom("S", (z, y))], name="mm")
+    examples.append(("projected path", q2, classify(q2)))
+
+    # 3. A triangle of answer variables: fc and wac but not ac.
+    q3 = ConjunctiveQuery(
+        (x, y, z),
+        [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (z, x))],
+        name="free_triangle",
+    )
+    examples.append(("free triangle", q3, classify(q3)))
+
+    # 4. A triangle with one quantified variable: wac only.
+    q4 = ConjunctiveQuery(
+        (x, y),
+        [Atom("R", (x, y)), Atom("S", (y, u)), Atom("T", (u, x))],
+        name="mixed_triangle",
+    )
+    examples.append(("triangle with quantified corner", q4, classify(q4)))
+
+    # 5. A fully quantified triangle (Boolean): not even weakly acyclic.
+    q5 = ConjunctiveQuery(
+        (),
+        [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (z, x))],
+        name="boolean_triangle",
+    )
+    examples.append(("Boolean triangle", q5, classify(q5)))
+
+    return examples

@@ -1,0 +1,97 @@
+"""Terms and atoms of conjunctive queries.
+
+A term is either a :class:`Variable` or a constant (any other hashable
+value).  An :class:`Atom` is a relation symbol applied to a tuple of terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.data.facts import Fact
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.name}"
+
+
+def is_variable(term: object) -> bool:
+    """True if ``term`` is a query variable."""
+    return isinstance(term, Variable)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)`` over variables and constants."""
+
+    relation: str
+    args: tuple
+
+    def __init__(self, relation: str, args: Iterable) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> set[Variable]:
+        """The set of variables occurring in the atom."""
+        return {t for t in self.args if is_variable(t)}
+
+    def constants(self) -> set:
+        """The set of constants occurring in the atom."""
+        return {t for t in self.args if not is_variable(t)}
+
+    def substitute(self, mapping: Mapping[Variable, object]) -> "Atom":
+        """Apply a partial substitution to the atom's variables."""
+        return Atom(
+            self.relation,
+            tuple(mapping.get(t, t) if is_variable(t) else t for t in self.args),
+        )
+
+    def to_fact(self, mapping: Mapping[Variable, object]) -> Fact:
+        """Instantiate the atom into a fact; every variable must be mapped."""
+        args = []
+        for term in self.args:
+            if is_variable(term):
+                if term not in mapping:
+                    raise KeyError(f"variable {term} is not mapped")
+                args.append(mapping[term])
+            else:
+                args.append(term)
+        return Fact(self.relation, args)
+
+    def matches(self, fact: Fact) -> bool:
+        """True if the atom could be mapped onto ``fact`` (same symbol/arity)."""
+        return self.relation == fact.relation and self.arity == fact.arity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            t.name if is_variable(t) else repr(t) if not isinstance(t, str) else t
+            for t in self.args
+        )
+        return f"{self.relation}({inner})"
+
+
+def variables_of(atoms: Iterable[Atom]) -> set[Variable]:
+    """All variables of a collection of atoms."""
+    result: set[Variable] = set()
+    for atom in atoms:
+        result |= atom.variables()
+    return result
+
+
+def constants_of(atoms: Iterable[Atom]) -> set:
+    """All constants of a collection of atoms."""
+    result: set = set()
+    for atom in atoms:
+        result |= atom.constants()
+    return result

@@ -1,0 +1,152 @@
+"""Homomorphisms from conjunctive queries into instances.
+
+A homomorphism maps the query's variables to domain elements of the instance
+(constants in the query map to themselves) such that every atom becomes a
+fact of the instance.  The functions here implement backtracking search with
+simple index-based candidate selection; they are the reference evaluator the
+optimised algorithms are tested against, and the workhorse for the small
+fixed-size subproblems (progress trees, excursions) where data complexity is
+not a concern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.data.facts import Fact
+from repro.data.instance import Instance
+from repro.cq.atoms import Atom, Variable, is_variable
+from repro.cq.query import ConjunctiveQuery
+
+
+def is_homomorphism(
+    mapping: Mapping[Variable, object],
+    query: ConjunctiveQuery,
+    instance: Instance,
+) -> bool:
+    """Check whether ``mapping`` is a homomorphism from ``query`` to ``instance``."""
+    for atom in query.atoms:
+        try:
+            fact = atom.to_fact(mapping)
+        except KeyError:
+            return False
+        if fact not in instance:
+            return False
+    return True
+
+
+def _atom_order(query: ConjunctiveQuery, bound: set[Variable]) -> list[Atom]:
+    """Order atoms so that each one shares as many variables as possible with
+    previously placed atoms (a greedy connectivity order for backtracking)."""
+    remaining = list(query.atoms)
+    order: list[Atom] = []
+    seen_vars = set(bound)
+    while remaining:
+        remaining.sort(
+            key=lambda atom: (-len(atom.variables() & seen_vars), repr(atom))
+        )
+        atom = remaining.pop(0)
+        order.append(atom)
+        seen_vars |= atom.variables()
+    return order
+
+
+def _candidate_facts(
+    atom: Atom, assignment: dict[Variable, object], instance: Instance
+) -> Iterator[Fact]:
+    """Facts of ``instance`` that could match ``atom`` under ``assignment``."""
+    bound_value = None
+    for term in atom.args:
+        if is_variable(term):
+            if term in assignment:
+                bound_value = assignment[term]
+                break
+        else:
+            bound_value = term
+            break
+    if bound_value is not None:
+        pool = instance.facts_with(bound_value)
+    else:
+        pool = instance.relation(atom.relation)
+    for fact in pool:
+        if fact.relation == atom.relation and fact.arity == atom.arity:
+            yield fact
+
+
+def _match_atom(
+    atom: Atom, fact: Fact, assignment: dict[Variable, object]
+) -> dict[Variable, object] | None:
+    """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``."""
+    extension: dict[Variable, object] = {}
+    for term, value in zip(atom.args, fact.args):
+        if is_variable(term):
+            bound = assignment.get(term, extension.get(term))
+            if bound is None:
+                extension[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extension
+
+
+def all_homomorphisms(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    partial: Mapping[Variable, object] | None = None,
+) -> Iterator[dict[Variable, object]]:
+    """Generate every homomorphism from ``query`` to ``instance``.
+
+    ``partial`` optionally pre-binds some variables (used for single-testing
+    where the answer variables are fixed).  Each yielded dictionary maps all
+    of ``var(q)`` to domain elements.
+    """
+    assignment: dict[Variable, object] = dict(partial or {})
+    order = _atom_order(query, set(assignment))
+
+    def search(index: int) -> Iterator[dict[Variable, object]]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        atom = order[index]
+        for fact in _candidate_facts(atom, assignment, instance):
+            extension = _match_atom(atom, fact, assignment)
+            if extension is None:
+                continue
+            assignment.update(extension)
+            yield from search(index + 1)
+            for variable in extension:
+                del assignment[variable]
+
+    # Variables of the query that occur in no atom cannot happen (queries are
+    # safe), so the search covers every variable.
+    yield from search(0)
+
+
+def find_homomorphism(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    partial: Mapping[Variable, object] | None = None,
+) -> dict[Variable, object] | None:
+    """Return one homomorphism, or ``None`` if there is none."""
+    for homomorphism in all_homomorphisms(query, instance, partial):
+        return homomorphism
+    return None
+
+
+def evaluate(query: ConjunctiveQuery, instance: Instance) -> set[tuple]:
+    """``q(I)``: the set of answers of the query on the instance.
+
+    Answers are tuples over the active domain of ``instance`` (they may
+    contain labelled nulls when the instance does); the answer for a Boolean
+    query is the empty tuple.
+    """
+    answers: set[tuple] = set()
+    for homomorphism in all_homomorphisms(query, instance):
+        answers.add(tuple(homomorphism[v] for v in query.answer_variables))
+    return answers
+
+
+def satisfies(query: ConjunctiveQuery, instance: Instance) -> bool:
+    """True if the Boolean version of ``query`` holds in ``instance``."""
+    return find_homomorphism(query.boolean_version(), instance) is not None

@@ -1,0 +1,123 @@
+"""Hypergraphs of conjunctive queries and the GYO reduction.
+
+The hypergraph of a CQ has the query's variables as vertices and one
+hyperedge per atom (the atom's variable set).  α-acyclicity is decided with
+the classical GYO (Graham / Yu–Özsoyoğlu) reduction: repeatedly remove
+vertices contained in a single hyperedge and hyperedges contained in another
+hyperedge; the hypergraph is acyclic exactly when everything disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+
+@dataclass
+class Hypergraph:
+    """A hypergraph with named hyperedges.
+
+    ``edges`` maps an edge name (for CQs: the atom) to its set of vertices.
+    Names keep distinct atoms with identical variable sets apart.
+    """
+
+    edges: dict[Hashable, frozenset] = field(default_factory=dict)
+
+    @classmethod
+    def from_edge_sets(cls, edge_sets: Iterable[Iterable]) -> "Hypergraph":
+        """Build a hypergraph from anonymous edge sets (auto-named)."""
+        edges = {index: frozenset(edge) for index, edge in enumerate(edge_sets)}
+        return cls(edges)
+
+    @classmethod
+    def from_named_edges(cls, named: Mapping[Hashable, Iterable]) -> "Hypergraph":
+        return cls({name: frozenset(edge) for name, edge in named.items()})
+
+    def vertices(self) -> set:
+        result: set = set()
+        for edge in self.edges.values():
+            result |= edge
+        return result
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> tuple[bool, list[tuple[Hashable, Hashable | None]]]:
+    """Run the GYO reduction.
+
+    Returns ``(acyclic, ear_order)`` where ``ear_order`` lists, for every
+    removed hyperedge, the pair ``(removed_edge_name, witness_edge_name)``;
+    the witness is a remaining hyperedge containing the removed edge's
+    surviving vertices, or ``None`` for the final edge.  When the hypergraph
+    is acyclic the ear order induces a join tree (each removed edge attaches
+    to its witness).
+    """
+    remaining: dict[Hashable, set] = {
+        name: set(edge) for name, edge in hypergraph.edges.items()
+    }
+    ear_order: list[tuple[Hashable, Hashable | None]] = []
+
+    changed = True
+    while changed and remaining:
+        changed = False
+
+        # Rule 1: drop vertices occurring in exactly one hyperedge.
+        occurrence: dict[Hashable, int] = {}
+        for edge in remaining.values():
+            for vertex in edge:
+                occurrence[vertex] = occurrence.get(vertex, 0) + 1
+        for edge in remaining.values():
+            lonely = {v for v in edge if occurrence[v] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+
+        # Rule 2: remove a hyperedge contained in another hyperedge.
+        names = list(remaining)
+        for name in names:
+            edge = remaining[name]
+            witness = None
+            for other_name, other_edge in remaining.items():
+                if other_name == name:
+                    continue
+                if edge <= other_edge:
+                    witness = other_name
+                    break
+            if witness is not None or not edge:
+                if witness is None:
+                    # An emptied edge with no witness attaches nowhere (it
+                    # becomes a root of its connected component).
+                    ear_order.append((name, None))
+                else:
+                    ear_order.append((name, witness))
+                del remaining[name]
+                changed = True
+                break
+
+    if len(remaining) <= 1:
+        for name in remaining:
+            ear_order.append((name, None))
+        return True, ear_order
+    return False, ear_order
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True if the hypergraph is α-acyclic (GYO reduction succeeds)."""
+    acyclic, _ = gyo_reduction(hypergraph)
+    return acyclic
+
+
+def atom_hypergraph(atoms: Sequence, freeze: Mapping | None = None) -> Hypergraph:
+    """The hypergraph of a set of atoms.
+
+    ``freeze`` optionally maps variables to constants first (used for weak
+    acyclicity, where answer variables are replaced by fresh constants and
+    therefore stop being vertices).
+    """
+    freeze = freeze or {}
+    named = {}
+    for atom in atoms:
+        variables = {v for v in atom.variables() if v not in freeze}
+        named[atom] = frozenset(variables)
+    return Hypergraph.from_named_edges(named)

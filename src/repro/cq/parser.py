@@ -1,0 +1,97 @@
+"""A small text syntax for conjunctive queries and atoms.
+
+Queries are written Datalog-style::
+
+    q(x, y) :- R(x, z), S(z, y), Label(x, "report")
+
+Identifiers starting with a lowercase letter are variables; identifiers
+starting with an uppercase letter or digits are constants; quoted strings and
+integers are constants as well.  The same atom syntax is reused by the TGD
+parser in :mod:`repro.tgds.parser`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cq.atoms import Atom, Variable
+from repro.cq.query import ConjunctiveQuery, QueryError
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+_TOKEN_RE = re.compile(r'"[^"]*"|[^,]+')
+
+
+def _parse_term(token: str):
+    token = token.strip()
+    if not token:
+        raise QueryError("empty term in atom")
+    if token.startswith('"') and token.endswith('"'):
+        return token[1:-1]
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if token[0].islower():
+        return Variable(token)
+    return token
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``R(x, "a", 3)``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise QueryError(f"cannot parse atom: {text!r}")
+    relation, arg_text = match.group(1), match.group(2).strip()
+    if not arg_text:
+        return Atom(relation, ())
+    terms = [_parse_term(tok.group(0)) for tok in _TOKEN_RE.finditer(arg_text)]
+    return Atom(relation, terms)
+
+
+def _split_atoms(body: str) -> list[str]:
+    """Split a conjunction on commas that are not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_query(text: str, name: str | None = None) -> ConjunctiveQuery:
+    """Parse a conjunctive query written in Datalog-style syntax."""
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    elif "<-" in text:
+        head_text, body_text = text.split("<-", 1)
+    else:
+        raise QueryError(f"query {text!r} has no ':-' separator")
+
+    head_match = _ATOM_RE.fullmatch(head_text)
+    if not head_match:
+        raise QueryError(f"cannot parse query head: {head_text!r}")
+    query_name = name or head_match.group(1)
+    head_args = head_match.group(2).strip()
+    if head_args:
+        answer_terms = [
+            _parse_term(tok.group(0)) for tok in _TOKEN_RE.finditer(head_args)
+        ]
+    else:
+        answer_terms = []
+    for term in answer_terms:
+        if not isinstance(term, Variable):
+            raise QueryError(f"head term {term!r} is not a variable")
+
+    atoms = [parse_atom(part) for part in _split_atoms(body_text)]
+    if not atoms:
+        raise QueryError("query has an empty body")
+    return ConjunctiveQuery(answer_terms, atoms, name=query_name)

@@ -1,0 +1,22 @@
+"""Relational substrate: constants, nulls, facts, schemas and instances.
+
+This package implements the data model of Section 2 of the paper: databases
+are finite sets of facts over constants, instances may additionally use
+labelled nulls (introduced by the chase), and ``adom`` / guarded sets /
+Gaifman graphs are the derived notions the algorithms rely on.
+"""
+
+from repro.data.terms import Null, fresh_null, is_null
+from repro.data.facts import Fact
+from repro.data.schema import Schema
+from repro.data.instance import Database, Instance
+
+__all__ = [
+    "Null",
+    "fresh_null",
+    "is_null",
+    "Fact",
+    "Schema",
+    "Instance",
+    "Database",
+]

@@ -1,0 +1,45 @@
+"""Facts: relation symbols applied to tuples of domain elements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.data.terms import is_null
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A fact ``R(c1, ..., ck)`` over constants and/or nulls.
+
+    ``relation`` is the relation symbol (a string), ``args`` the argument
+    tuple.  Facts are immutable and hashable so they can live in sets, which
+    is how instances store them.
+    """
+
+    relation: str
+    args: tuple
+
+    def __init__(self, relation: str, args) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def constants(self) -> Iterator[object]:
+        """All domain elements occurring in the fact (with repetitions)."""
+        return iter(self.args)
+
+    def has_null(self) -> bool:
+        """True if at least one argument is a labelled null."""
+        return any(is_null(a) for a in self.args)
+
+    def nulls(self) -> set:
+        """The set of labelled nulls occurring in the fact."""
+        return {a for a in self.args if is_null(a)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(a) if not isinstance(a, str) else a for a in self.args)
+        return f"{self.relation}({inner})"

@@ -1,0 +1,171 @@
+"""Instances and databases: finite sets of facts with useful indexes.
+
+An :class:`Instance` may contain labelled nulls (it is the object produced by
+the chase); a :class:`Database` is an instance that is promised to be
+null-free.  Both maintain per-relation indexes and per-constant adjacency so
+that the algorithms in the rest of the library get the (amortised) constant
+time lookups the paper's RAM model assumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.data.facts import Fact
+from repro.data.schema import Schema
+from repro.data.terms import is_null
+
+
+class Instance:
+    """A finite set of facts over constants and labelled nulls."""
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: set[Fact] = set()
+        self._by_relation: dict[str, set[Fact]] = defaultdict(set)
+        self._by_constant: dict[object, set[Fact]] = defaultdict(set)
+        for fact in facts:
+            self.add(fact)
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, fact: Fact) -> bool:
+        """Add ``fact``; return True if it was not already present."""
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_relation[fact.relation].add(fact)
+        for arg in set(fact.args):
+            self._by_constant[arg].add(fact)
+        return True
+
+    def update(self, facts: Iterable[Fact]) -> int:
+        """Add many facts; return how many were new."""
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove ``fact`` if present; return True if it was removed."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_relation[fact.relation].discard(fact)
+        for arg in set(fact.args):
+            bucket = self._by_constant[arg]
+            bucket.discard(fact)
+            if not bucket:
+                del self._by_constant[arg]
+        return True
+
+    def copy(self) -> "Instance":
+        return type(self)(self._facts)
+
+    # -- basic queries ---------------------------------------------------
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._facts == other._facts
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self).__name__
+        return f"{kind}({len(self._facts)} facts)"
+
+    def facts(self) -> set[Fact]:
+        """A copy of the fact set."""
+        return set(self._facts)
+
+    def relation(self, name: str) -> set[Fact]:
+        """All facts over relation symbol ``name`` (a copy)."""
+        return set(self._by_relation.get(name, ()))
+
+    def relations(self) -> set[str]:
+        """The relation symbols that actually occur in the instance."""
+        return {name for name, bucket in self._by_relation.items() if bucket}
+
+    def facts_with(self, element: object) -> set[Fact]:
+        """All facts mentioning the domain element ``element``."""
+        return set(self._by_constant.get(element, ()))
+
+    def adom(self) -> set:
+        """The active domain: every constant or null used in some fact."""
+        return {element for element, bucket in self._by_constant.items() if bucket}
+
+    def nulls(self) -> set:
+        """All labelled nulls occurring in the instance."""
+        return {element for element in self.adom() if is_null(element)}
+
+    def constants(self) -> set:
+        """All non-null domain elements occurring in the instance."""
+        return {element for element in self.adom() if not is_null(element)}
+
+    def schema(self) -> Schema:
+        """The schema induced by the facts of the instance."""
+        return Schema.from_facts(self._facts)
+
+    def size(self) -> int:
+        """``||I||``: total number of symbols needed to write the instance."""
+        return sum(1 + fact.arity for fact in self._facts)
+
+    # -- structural operations -------------------------------------------
+
+    def restrict(self, elements: Iterable[object]) -> "Instance":
+        """``I|_S``: the facts mentioning only elements of ``S``."""
+        keep = set(elements)
+        facts = {f for f in self._facts if all(a in keep for a in f.args)}
+        return Instance(facts)
+
+    def restrict_relations(self, relations: Iterable[str]) -> "Instance":
+        """The facts whose relation symbol is among ``relations``."""
+        keep = set(relations)
+        return Instance(f for f in self._facts if f.relation in keep)
+
+    def guarded_sets(self) -> set[frozenset]:
+        """All maximal guarded sets: the element sets of individual facts."""
+        return {frozenset(f.args) for f in self._facts}
+
+    def is_guarded_set(self, elements: Iterable[object]) -> bool:
+        """True if some fact mentions every element of ``elements``."""
+        wanted = set(elements)
+        if not wanted:
+            return True
+        anchor = next(iter(wanted))
+        return any(wanted <= set(f.args) for f in self._by_constant.get(anchor, ()))
+
+    def gaifman_graph(self) -> dict[object, set]:
+        """The Gaifman graph as an adjacency dictionary."""
+        graph: dict[object, set] = {element: set() for element in self.adom()}
+        for fact in self._facts:
+            distinct = set(fact.args)
+            for a in distinct:
+                graph[a].update(distinct - {a})
+        return graph
+
+    def union(self, other: "Instance") -> "Instance":
+        merged = Instance(self._facts)
+        merged.update(other)
+        return merged
+
+
+class Database(Instance):
+    """A finite instance using only constants (no labelled nulls)."""
+
+    def add(self, fact: Fact) -> bool:
+        if fact.has_null():
+            raise ValueError(f"databases may not contain nulls: {fact}")
+        return super().add(fact)
+
+    def copy(self) -> "Database":
+        return Database(self._facts)

@@ -1,0 +1,80 @@
+"""Schemas: finite maps from relation symbols to arities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.data.facts import Fact
+
+
+class SchemaError(ValueError):
+    """Raised when facts or atoms disagree with a schema."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A schema ``S``: a set of relation symbols with associated arities."""
+
+    relations: Mapping[str, int] = field(default_factory=dict)
+
+    def __init__(self, relations: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        object.__setattr__(self, "relations", dict(relations))
+
+    def arity(self, relation: str) -> int:
+        try:
+            return self.relations[relation]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation symbol {relation!r}") from exc
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self.relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def symbols(self) -> set[str]:
+        return set(self.relations)
+
+    def validate_fact(self, fact: Fact) -> None:
+        """Raise :class:`SchemaError` if ``fact`` does not conform."""
+        if fact.relation not in self.relations:
+            raise SchemaError(f"fact {fact} uses unknown relation {fact.relation!r}")
+        expected = self.relations[fact.relation]
+        if fact.arity != expected:
+            raise SchemaError(
+                f"fact {fact} has arity {fact.arity}, expected {expected}"
+            )
+
+    def union(self, other: "Schema") -> "Schema":
+        """The union of two schemas; shared symbols must agree on arity."""
+        merged = dict(self.relations)
+        for name, arity in other.relations.items():
+            if name in merged and merged[name] != arity:
+                raise SchemaError(
+                    f"relation {name!r} has conflicting arities "
+                    f"{merged[name]} and {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged)
+
+    def restrict(self, symbols: Iterable[str]) -> "Schema":
+        """The sub-schema containing only ``symbols``."""
+        keep = set(symbols)
+        return Schema({r: a for r, a in self.relations.items() if r in keep})
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Schema":
+        """Infer a schema from a collection of facts."""
+        relations: dict[str, int] = {}
+        for fact in facts:
+            previous = relations.setdefault(fact.relation, fact.arity)
+            if previous != fact.arity:
+                raise SchemaError(
+                    f"relation {fact.relation!r} used with arities "
+                    f"{previous} and {fact.arity}"
+                )
+        return cls(relations)

@@ -1,0 +1,61 @@
+"""Domain elements: constants and labelled nulls.
+
+Constants are ordinary hashable Python values (strings, integers, tuples).
+Nulls are the labelled nulls introduced by existential quantifiers during the
+chase (the set ``N`` of the paper).  They are represented by a dedicated
+class so that "is this a null?" is a type check rather than a naming
+convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labelled null, identified by an integer label.
+
+    Two nulls are equal exactly when their labels are equal.  Nulls sort
+    after all constants used in the test-suite workloads, which keeps
+    deterministic orderings simple; ordering between a null and an arbitrary
+    constant falls back to comparing string representations.
+    """
+
+    label: int
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"_:n{self.label}"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Null):
+            return self.label < other.label
+        return NotImplemented
+
+
+@dataclass
+class NullFactory:
+    """Produces fresh nulls with globally increasing labels.
+
+    A factory is attached to a chase run so that the nulls it introduces are
+    distinct from the nulls of every other run in the same process.
+    """
+
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def __call__(self) -> Null:
+        return Null(next(self._counter))
+
+
+_GLOBAL_FACTORY = NullFactory(itertools.count(1))
+
+
+def fresh_null() -> Null:
+    """Return a process-wide fresh labelled null."""
+    return _GLOBAL_FACTORY()
+
+
+def is_null(value: object) -> bool:
+    """True if ``value`` is a labelled null (an element of ``N``)."""
+    return isinstance(value, Null)

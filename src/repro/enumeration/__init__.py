@@ -1,0 +1,14 @@
+"""Constant-delay enumeration and all-testing for plain CQs (no ontology)."""
+
+from repro.enumeration.reduction import Block, ReducedQuery, build_reduced_query
+from repro.enumeration.cdlin import CDLinEnumerator, enumerate_answers
+from repro.enumeration.alltesting import FreeConnexAllTester
+
+__all__ = [
+    "Block",
+    "CDLinEnumerator",
+    "FreeConnexAllTester",
+    "ReducedQuery",
+    "build_reduced_query",
+    "enumerate_answers",
+]

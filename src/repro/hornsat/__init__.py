@@ -1,0 +1,5 @@
+"""Linear-time Horn satisfiability and minimal models (Dowling–Gallier)."""
+
+from repro.hornsat.horn import HornClause, HornFormula, minimal_model
+
+__all__ = ["HornClause", "HornFormula", "minimal_model"]

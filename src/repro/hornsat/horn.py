@@ -1,0 +1,93 @@
+"""Propositional Horn formulas and their minimal models.
+
+The paper's Proposition 3.3 computes the query-directed chase by building a
+satisfiable definite Horn formula and reading off its unique minimal model,
+relying on the classical result of Dowling and Gallier (1984) that minimal
+models of Horn formulas can be computed in linear time.  This module
+implements that algorithm: a forward-chaining unit propagation with a counter
+per clause, which runs in time linear in the total size of the formula.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """A definite Horn clause ``body → head``.
+
+    Facts are clauses with an empty body.  Goal clauses (empty head) are not
+    needed for minimal-model computation and are not supported.
+    """
+
+    body: frozenset
+    head: Hashable
+
+    def __init__(self, body: Iterable[Hashable], head: Hashable):
+        object.__setattr__(self, "body", frozenset(body))
+        object.__setattr__(self, "head", head)
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+
+@dataclass
+class HornFormula:
+    """A conjunction of definite Horn clauses."""
+
+    clauses: list[HornClause] = field(default_factory=list)
+
+    def add_fact(self, head: Hashable) -> None:
+        self.clauses.append(HornClause((), head))
+
+    def add_rule(self, body: Iterable[Hashable], head: Hashable) -> None:
+        self.clauses.append(HornClause(body, head))
+
+    def variables(self) -> set:
+        result: set = set()
+        for clause in self.clauses:
+            result |= clause.body
+            result.add(clause.head)
+        return result
+
+    def size(self) -> int:
+        return sum(len(clause.body) + 1 for clause in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def minimal_model(formula: HornFormula) -> set:
+    """The unique minimal model of a definite Horn formula.
+
+    Implemented as Dowling–Gallier forward chaining: each clause keeps a
+    counter of unsatisfied body literals; when the counter hits zero the head
+    is derived and pushed onto a work queue.  Total running time is linear in
+    the size of the formula.
+    """
+    counters = [len(clause.body) for clause in formula.clauses]
+    watchers: dict[Hashable, list[int]] = defaultdict(list)
+    for index, clause in enumerate(formula.clauses):
+        for literal in clause.body:
+            watchers[literal].append(index)
+
+    derived: set = set()
+    queue: deque = deque()
+    for index, clause in enumerate(formula.clauses):
+        if counters[index] == 0 and clause.head not in derived:
+            derived.add(clause.head)
+            queue.append(clause.head)
+
+    while queue:
+        literal = queue.popleft()
+        for index in watchers.get(literal, ()):
+            counters[index] -= 1
+            if counters[index] == 0:
+                head = formula.clauses[index].head
+                if head not in derived:
+                    derived.add(head)
+                    queue.append(head)
+    return derived

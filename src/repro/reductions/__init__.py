@@ -1,0 +1,31 @@
+"""Lower-bound reductions of the paper (triangles and Boolean matrices)."""
+
+from repro.reductions.triangle import (
+    graph_to_database,
+    has_triangle_naive,
+    has_triangle_via_omq,
+    triangle_omq,
+    triangle_partial_answer_omq,
+)
+from repro.reductions.bmm import (
+    bmm_free_connex_omq,
+    bmm_omq,
+    boolean_matrix_multiply_naive,
+    boolean_matrix_multiply_sparse,
+    boolean_matrix_multiply_via_omq,
+    matrices_to_database,
+)
+
+__all__ = [
+    "bmm_free_connex_omq",
+    "bmm_omq",
+    "boolean_matrix_multiply_naive",
+    "boolean_matrix_multiply_sparse",
+    "boolean_matrix_multiply_via_omq",
+    "graph_to_database",
+    "has_triangle_naive",
+    "has_triangle_via_omq",
+    "matrices_to_database",
+    "triangle_omq",
+    "triangle_partial_answer_omq",
+]

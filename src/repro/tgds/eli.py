@@ -1,0 +1,118 @@
+"""The description logic ELI, presented in TGD syntax (Section 2).
+
+An ELI TGD is a guarded TGD that uses only unary and binary relation
+symbols, has a single frontier variable, contains no reflexive loops and no
+multi-edges in body or head, and whose head is acyclic and connected.  An
+ELIQ is a unary, constant-free CQ whose variable graph is a disjoint union
+of trees without self loops or multi-edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cq.atoms import Atom, Variable, is_variable
+from repro.cq.query import ConjunctiveQuery
+from repro.tgds.tgd import TGD
+
+
+def _variable_graph(atoms: Iterable[Atom]) -> dict[Variable, set[Variable]]:
+    """The undirected graph ``G^var`` on variables induced by binary atoms."""
+    graph: dict[Variable, set[Variable]] = {}
+    for atom in atoms:
+        for term in atom.args:
+            if is_variable(term):
+                graph.setdefault(term, set())
+        if atom.arity == 2:
+            left, right = atom.args
+            if is_variable(left) and is_variable(right) and left != right:
+                graph[left].add(right)
+                graph[right].add(left)
+    return graph
+
+
+def _has_reflexive_loop(atoms: Iterable[Atom]) -> bool:
+    return any(
+        atom.arity == 2 and atom.args[0] == atom.args[1] for atom in atoms
+    )
+
+
+def _has_multi_edge(atoms: Iterable[Atom]) -> bool:
+    """True if two distinct binary atoms mention the same pair of terms."""
+    seen: set[frozenset] = set()
+    for atom in atoms:
+        if atom.arity != 2 or atom.args[0] == atom.args[1]:
+            continue
+        key = frozenset(atom.args)
+        if key in seen:
+            return True
+        seen.add(key)
+    return False
+
+
+def _is_forest(graph: dict[Variable, set[Variable]]) -> bool:
+    """True if the undirected graph is a disjoint union of trees."""
+    visited: set[Variable] = set()
+    for start in graph:
+        if start in visited:
+            continue
+        stack = [(start, None)]
+        visited.add(start)
+        while stack:
+            node, parent = stack.pop()
+            for neighbor in graph[node]:
+                if neighbor == parent:
+                    continue
+                if neighbor in visited:
+                    return False
+                visited.add(neighbor)
+                stack.append((neighbor, node))
+    return True
+
+
+def _is_connected(graph: dict[Variable, set[Variable]]) -> bool:
+    if len(graph) <= 1:
+        return True
+    start = next(iter(graph))
+    stack = [start]
+    seen = {start}
+    while stack:
+        node = stack.pop()
+        for neighbor in graph[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == len(graph)
+
+
+def uses_only_low_arity(atoms: Iterable[Atom], maximum: int = 2) -> bool:
+    return all(1 <= atom.arity <= maximum for atom in atoms)
+
+
+def is_eliq(query: ConjunctiveQuery) -> bool:
+    """True if ``query`` is an ELIQ (unary, constant-free, tree-shaped)."""
+    if query.arity != 1 or query.constants():
+        return False
+    atoms = list(query.atoms)
+    if not uses_only_low_arity(atoms):
+        return False
+    if _has_reflexive_loop(atoms) or _has_multi_edge(atoms):
+        return False
+    return _is_forest(_variable_graph(atoms))
+
+
+def is_eli_tgd(tgd: TGD) -> bool:
+    """True if ``tgd`` is an ELI TGD as defined in Section 2 of the paper."""
+    if not tgd.is_guarded():
+        return False
+    atoms = list(tgd.body | tgd.head)
+    if not uses_only_low_arity(atoms):
+        return False
+    if len(tgd.frontier_variables()) > 1:
+        return False
+    if _has_reflexive_loop(tgd.body) or _has_multi_edge(tgd.body):
+        return False
+    if _has_reflexive_loop(tgd.head) or _has_multi_edge(tgd.head):
+        return False
+    head_graph = _variable_graph(tgd.head)
+    return _is_forest(head_graph) and _is_connected(head_graph)

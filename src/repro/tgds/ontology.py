@@ -1,0 +1,78 @@
+"""Ontologies: finite sets of TGDs with aggregate structural checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.data.schema import Schema
+from repro.tgds.eli import is_eli_tgd
+from repro.tgds.tgd import TGD
+
+
+@dataclass(frozen=True)
+class Ontology:
+    """A finite set of TGDs (the ontology ``O`` of an OMQ)."""
+
+    tgds: tuple[TGD, ...]
+    name: str = "O"
+
+    def __init__(self, tgds: Iterable[TGD] = (), name: str = "O"):
+        object.__setattr__(self, "tgds", tuple(tgds))
+        object.__setattr__(self, "name", name)
+
+    def __iter__(self) -> Iterator[TGD]:
+        return iter(self.tgds)
+
+    def __len__(self) -> int:
+        return len(self.tgds)
+
+    def is_empty(self) -> bool:
+        return not self.tgds
+
+    def is_guarded(self) -> bool:
+        """True if every TGD is guarded (the class ``G``)."""
+        return all(tgd.is_guarded() for tgd in self.tgds)
+
+    def is_eli(self) -> bool:
+        """True if every TGD is an ELI TGD."""
+        return all(is_eli_tgd(tgd) for tgd in self.tgds)
+
+    def is_full(self) -> bool:
+        """True if no TGD introduces existential variables (Datalog)."""
+        return all(tgd.is_full() for tgd in self.tgds)
+
+    def relations(self) -> set[str]:
+        symbols: set[str] = set()
+        for tgd in self.tgds:
+            symbols |= tgd.relations()
+        return symbols
+
+    def schema(self) -> Schema:
+        relations: dict[str, int] = {}
+        for tgd in self.tgds:
+            for atom in tgd.body | tgd.head:
+                relations[atom.relation] = atom.arity
+        return Schema(relations)
+
+    def max_arity(self) -> int:
+        if not self.tgds:
+            return 0
+        return max(tgd.max_arity() for tgd in self.tgds)
+
+    def max_body_radius(self) -> int:
+        """The largest number of atoms in any TGD body (a crude bound on how
+        deep into the chase a body match can reach)."""
+        if not self.tgds:
+            return 0
+        return max(len(tgd.body) for tgd in self.tgds)
+
+    def max_head_radius(self) -> int:
+        """The largest number of atoms in any TGD head (a crude bound on how
+        much a single chase step can extend a tree)."""
+        if not self.tgds:
+            return 0
+        return max(len(tgd.head) for tgd in self.tgds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ontology({self.name}, {len(self.tgds)} TGDs)"

@@ -1,0 +1,47 @@
+"""A small text syntax for TGDs and ontologies.
+
+TGDs are written with ``->`` separating body and head::
+
+    Researcher(x) -> HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Prof(x), HasOffice(x, y) -> LargeOffice(y)
+    true -> Seed(x)
+
+Variables and constants follow the conventions of :mod:`repro.cq.parser`,
+except that constants are rejected (the paper's TGDs are constant-free).
+Existential quantification is implicit: every head variable not occurring in
+the body is existentially quantified.
+"""
+
+from __future__ import annotations
+
+from repro.cq.parser import _split_atoms, parse_atom
+from repro.tgds.ontology import Ontology
+from repro.tgds.tgd import TGD, TGDError
+
+
+def parse_tgd(text: str, label: str = "") -> TGD:
+    """Parse a single TGD of the form ``body -> head``."""
+    if "->" not in text:
+        raise TGDError(f"TGD {text!r} has no '->' separator")
+    body_text, head_text = text.split("->", 1)
+    body_text = body_text.strip()
+    if body_text.lower() in ("true", "⊤", ""):
+        body_atoms = []
+    else:
+        body_atoms = [parse_atom(part) for part in _split_atoms(body_text)]
+    head_atoms = [parse_atom(part) for part in _split_atoms(head_text)]
+    if not head_atoms:
+        raise TGDError(f"TGD {text!r} has an empty head")
+    return TGD(body_atoms, head_atoms, label=label)
+
+
+def parse_ontology(text: str, name: str = "O") -> Ontology:
+    """Parse an ontology: one TGD per non-empty, non-comment line."""
+    tgds = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        tgds.append(parse_tgd(line, label=f"{name}:{lineno}"))
+    return Ontology(tgds, name=name)

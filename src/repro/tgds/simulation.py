@@ -1,0 +1,98 @@
+"""Simulations between instances over unary/binary schemas (Appendix A.3).
+
+A simulation from instance ``I`` to instance ``J`` is a relation ``S`` over
+``adom(I) × adom(J)`` such that unary facts are preserved and every incoming
+or outgoing binary edge of a simulated element can be matched in ``J``.
+Simulations characterise the expressive power of ELI: if ``(I, c) ⪯ (J, d)``
+then every ELIQ (and every OMQ from (ELI, ELIQ)) satisfied at ``c`` is
+satisfied at ``d`` (Lemmas A.3 and A.4 of the paper).
+
+The module computes the *largest* simulation by the standard fixpoint
+refinement: start from the full relation and repeatedly delete pairs that
+violate one of the three closure conditions.
+"""
+
+from __future__ import annotations
+
+from repro.data.instance import Instance
+
+
+def _unary_labels(instance: Instance) -> dict[object, set[str]]:
+    labels: dict[object, set[str]] = {element: set() for element in instance.adom()}
+    for fact in instance:
+        if fact.arity == 1:
+            labels[fact.args[0]].add(fact.relation)
+    return labels
+
+
+def _edges(instance: Instance) -> tuple[dict, dict]:
+    """Outgoing and incoming binary edges grouped by source/target element."""
+    out_edges: dict[object, set[tuple[str, object]]] = {
+        element: set() for element in instance.adom()
+    }
+    in_edges: dict[object, set[tuple[str, object]]] = {
+        element: set() for element in instance.adom()
+    }
+    for fact in instance:
+        if fact.arity == 2:
+            source, target = fact.args
+            out_edges[source].add((fact.relation, target))
+            in_edges[target].add((fact.relation, source))
+    return out_edges, in_edges
+
+
+def largest_simulation(source: Instance, target: Instance) -> set[tuple]:
+    """The largest simulation from ``source`` to ``target``.
+
+    Both instances must use only unary and binary relation symbols; higher
+    arities raise ``ValueError``.
+    """
+    for instance in (source, target):
+        if any(fact.arity > 2 for fact in instance):
+            raise ValueError("simulations are defined for arity <= 2 schemas only")
+
+    source_labels = _unary_labels(source)
+    target_labels = _unary_labels(target)
+    source_out, source_in = _edges(source)
+    target_out, target_in = _edges(target)
+
+    relation = {
+        (a, b)
+        for a in source.adom()
+        for b in target.adom()
+        if source_labels[a] <= target_labels[b]
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(relation):
+            a, b = pair
+            ok = True
+            for rel, a_next in source_out[a]:
+                if not any(
+                    (a_next, b_next) in relation
+                    for r, b_next in target_out[b]
+                    if r == rel
+                ):
+                    ok = False
+                    break
+            if ok:
+                for rel, a_prev in source_in[a]:
+                    if not any(
+                        (a_prev, b_prev) in relation
+                        for r, b_prev in target_in[b]
+                        if r == rel
+                    ):
+                        ok = False
+                        break
+            if not ok:
+                relation.discard(pair)
+                changed = True
+    return relation
+
+
+def simulates(source: Instance, c, target: Instance, d) -> bool:
+    """True if ``(source, c) ⪯ (target, d)`` (there is a simulation relating
+    ``c`` to ``d``)."""
+    return (c, d) in largest_simulation(source, target)

@@ -1,0 +1,29 @@
+"""Synthetic workload generators used by examples, tests and benchmarks."""
+
+from repro.workloads.office import (
+    generate_office_database,
+    office_omq,
+    office_ontology,
+    office_query,
+)
+from repro.workloads.university import (
+    generate_university_database,
+    university_omq,
+    university_ontology,
+    university_query,
+)
+from repro.workloads.graphs import random_graph
+from repro.workloads.matrices import random_sparse_matrix
+
+__all__ = [
+    "generate_office_database",
+    "generate_university_database",
+    "office_omq",
+    "office_ontology",
+    "office_query",
+    "random_graph",
+    "random_sparse_matrix",
+    "university_omq",
+    "university_ontology",
+    "university_query",
+]

@@ -1,0 +1,35 @@
+"""Random graph generation for the triangle lower-bound experiments."""
+
+from __future__ import annotations
+
+import random
+
+
+def random_graph(
+    vertices: int, edges: int, seed: int = 0, avoid_triangles: bool = False
+) -> list[tuple[str, str]]:
+    """A random simple undirected graph as a list of edges.
+
+    With ``avoid_triangles`` the generator only keeps edges that do not close
+    a triangle, producing (locally) triangle-free graphs — the hard case for
+    detection, since the search cannot stop early.
+    """
+    rng = random.Random(seed)
+    adjacency: dict[str, set[str]] = {f"v{i}": set() for i in range(vertices)}
+    names = list(adjacency)
+    edge_list: list[tuple[str, str]] = []
+    seen: set[frozenset] = set()
+    attempts = 0
+    while len(edge_list) < edges and attempts < 50 * edges:
+        attempts += 1
+        u, v = rng.sample(names, 2)
+        key = frozenset((u, v))
+        if key in seen:
+            continue
+        if avoid_triangles and (adjacency[u] & adjacency[v]):
+            continue
+        seen.add(key)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        edge_list.append((u, v))
+    return edge_list

@@ -1,0 +1,21 @@
+"""Random sparse Boolean matrices for the BMM lower-bound experiments."""
+
+from __future__ import annotations
+
+import random
+
+
+def random_sparse_matrix(
+    dimension: int, density: float, seed: int = 0
+) -> list[tuple[int, int]]:
+    """A random sparse Boolean matrix as a list of one-entries.
+
+    ``density`` is the probability that any given entry is one; the expected
+    number of entries is ``density * dimension**2``.
+    """
+    rng = random.Random(seed)
+    target = max(1, int(density * dimension * dimension))
+    entries: set[tuple[int, int]] = set()
+    while len(entries) < target:
+        entries.add((rng.randrange(dimension), rng.randrange(dimension)))
+    return sorted(entries)

@@ -1,0 +1,78 @@
+"""The office workload: a scalable version of Example 1.1 of the paper.
+
+The ontology states that every researcher has an office, that whatever is an
+office's target is an office, and that every office is in a building; the
+query asks for researchers with their office and building.  Databases are
+generated with configurable completeness, so partial answers with one or two
+wildcards appear in controlled proportions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.facts import Fact
+from repro.data.instance import Database
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.core.omq import OMQ
+from repro.tgds.ontology import Ontology
+from repro.tgds.parser import parse_ontology
+
+_OFFICE_ONTOLOGY = """
+Researcher(x) -> HasOffice(x, y)
+HasOffice(x, y) -> Office(y)
+Office(x) -> InBuilding(x, y)
+"""
+
+
+def office_ontology() -> Ontology:
+    """The three ELI TGDs of Example 1.1."""
+    return parse_ontology(_OFFICE_ONTOLOGY, name="office")
+
+
+def office_query() -> ConjunctiveQuery:
+    """``q(x1, x2, x3) ← HasOffice(x1, x2) ∧ InBuilding(x2, x3)``."""
+    return parse_query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+
+
+def office_omq() -> OMQ:
+    """The OMQ of Example 1.1 (acyclic and free-connex acyclic)."""
+    return OMQ.from_parts(office_ontology(), office_query(), name="Q_office")
+
+
+@dataclass(frozen=True)
+class OfficeProfile:
+    """Knobs controlling how complete the generated database is."""
+
+    office_probability: float = 0.7
+    building_probability: float = 0.7
+    buildings_per_offices: int = 5
+
+
+def generate_office_database(
+    researchers: int,
+    profile: OfficeProfile | None = None,
+    seed: int = 0,
+) -> Database:
+    """Generate an office database with ``researchers`` researcher constants.
+
+    A fraction of the researchers get an explicit office fact and a fraction
+    of those offices get an explicit building; the rest is left to the
+    ontology, which is what produces wildcard answers.
+    """
+    profile = profile or OfficeProfile()
+    rng = random.Random(seed)
+    facts: list[Fact] = []
+    buildings = max(1, researchers // max(1, profile.buildings_per_offices))
+    for index in range(researchers):
+        person = f"person{index}"
+        facts.append(Fact("Researcher", (person,)))
+        if rng.random() < profile.office_probability:
+            office = f"office{index}"
+            facts.append(Fact("HasOffice", (person, office)))
+            if rng.random() < profile.building_probability:
+                building = f"building{rng.randrange(buildings)}"
+                facts.append(Fact("InBuilding", (office, building)))
+    return Database(facts)

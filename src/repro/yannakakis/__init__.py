@@ -1,0 +1,17 @@
+"""Yannakakis-style evaluation of acyclic conjunctive queries."""
+
+from repro.yannakakis.relations import AtomRelation, atom_relation
+from repro.yannakakis.semijoin import full_reducer, semijoin
+from repro.yannakakis.evaluation import boolean_eval, single_test
+from repro.yannakakis.decomposition import FreeConnexDecomposition, decompose_free_connex
+
+__all__ = [
+    "AtomRelation",
+    "FreeConnexDecomposition",
+    "atom_relation",
+    "boolean_eval",
+    "decompose_free_connex",
+    "full_reducer",
+    "semijoin",
+    "single_test",
+]

@@ -1,0 +1,72 @@
+"""Boolean evaluation and single-testing of acyclic CQs (Yannakakis 1981).
+
+Single-testing of a candidate answer first substitutes the answer constants
+into the query (turning a weakly acyclic query into an acyclic one, as in the
+proof of Theorem 3.1) and then runs the Boolean bottom-up pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.instance import Instance
+from repro.cq.acyclicity import is_acyclic
+from repro.cq.jointree import build_join_tree
+from repro.cq.query import ConjunctiveQuery, QueryError
+from repro.yannakakis.relations import atom_relation
+from repro.yannakakis.semijoin import bottom_up_pass
+
+
+class NotAcyclicError(ValueError):
+    """Raised when an algorithm requiring acyclicity gets a cyclic query."""
+
+
+def boolean_eval(query: ConjunctiveQuery, instance: Instance) -> bool:
+    """Evaluate the Boolean version of an acyclic query on ``instance``.
+
+    The query's connected components are evaluated independently: for each
+    component a join tree is built, its relations are semi-join reduced
+    bottom-up and the component holds iff the root relation stays non-empty.
+    """
+    boolean_query = query.boolean_version()
+    components = boolean_query.connected_components()
+    if not components:
+        return True
+    for component in components:
+        tree = build_join_tree(component.atoms)
+        if tree is None:
+            raise NotAcyclicError(f"query component {component} is not acyclic")
+        relations = {atom: atom_relation(atom, instance) for atom in component.atoms}
+        if any(relation.is_empty() for relation in relations.values()):
+            return False
+        bottom_up_pass(tree, relations)
+        if relations[tree.root].is_empty():
+            return False
+    return True
+
+
+def single_test(
+    query: ConjunctiveQuery, instance: Instance, answer: Sequence
+) -> bool:
+    """Decide ``answer ∈ q(instance)`` for a weakly acyclic query.
+
+    The answer variables are replaced by the candidate constants, which turns
+    a weakly acyclic query into an acyclic one; the resulting Boolean query is
+    then evaluated with :func:`boolean_eval`.
+    """
+    if len(answer) != query.arity:
+        raise QueryError(
+            f"answer has length {len(answer)}, query arity is {query.arity}"
+        )
+    substitution = {}
+    for variable, value in zip(query.answer_variables, answer):
+        if variable in substitution and substitution[variable] != value:
+            return False
+        substitution[variable] = value
+    grounded = query.substitute(substitution)
+    if not is_acyclic(grounded):
+        raise NotAcyclicError(
+            "query is not weakly acyclic: grounding the answer variables "
+            "did not produce an acyclic query"
+        )
+    return boolean_eval(grounded, instance)

@@ -1,0 +1,95 @@
+"""Materialised atom relations used by the acyclic-query algorithms.
+
+An :class:`AtomRelation` stores, for one query atom, the set of variable
+assignments induced by the matching facts of an instance.  Assignments are
+stored as value tuples aligned with a fixed variable order, which makes
+semi-joins and index lookups cheap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data.instance import Instance
+from repro.cq.atoms import Atom, Variable, is_variable
+
+
+@dataclass
+class AtomRelation:
+    """The assignments of one atom's variables over an instance."""
+
+    atom: Atom
+    variables: tuple[Variable, ...]
+    tuples: set[tuple] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    def copy(self) -> "AtomRelation":
+        return AtomRelation(self.atom, self.variables, set(self.tuples))
+
+    def positions(self, variables: Iterable[Variable]) -> tuple[int, ...]:
+        """Index positions of ``variables`` within this relation's order."""
+        index = {v: i for i, v in enumerate(self.variables)}
+        return tuple(index[v] for v in variables)
+
+    def project(self, variables: Iterable[Variable]) -> set[tuple]:
+        """The projection of the relation onto ``variables`` (set semantics)."""
+        variables = tuple(variables)
+        positions = self.positions(variables)
+        return {tuple(row[p] for p in positions) for row in self.tuples}
+
+    def index_on(self, variables: Iterable[Variable]) -> dict[tuple, list[tuple]]:
+        """A hash index grouping rows by their values on ``variables``."""
+        positions = self.positions(tuple(variables))
+        index: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in self.tuples:
+            index[tuple(row[p] for p in positions)].append(row)
+        return dict(index)
+
+    def assignment(self, row: tuple) -> dict[Variable, object]:
+        """Turn a stored row back into a variable assignment."""
+        return dict(zip(self.variables, row))
+
+
+def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
+    """Materialise the assignments of ``atom`` over ``instance``.
+
+    Constants in the atom act as selections and repeated variables as
+    equality filters, exactly as in homomorphism matching.
+    """
+    variables = tuple(sorted(atom.variables(), key=lambda v: v.name))
+    relation = AtomRelation(atom, variables)
+    var_positions: dict[Variable, list[int]] = defaultdict(list)
+    constant_positions: list[tuple[int, object]] = []
+    for position, term in enumerate(atom.args):
+        if is_variable(term):
+            var_positions[term].append(position)
+        else:
+            constant_positions.append((position, term))
+
+    for fact in instance.relation(atom.relation):
+        if fact.arity != atom.arity:
+            continue
+        if any(fact.args[p] != value for p, value in constant_positions):
+            continue
+        row = []
+        consistent = True
+        for variable in variables:
+            positions = var_positions[variable]
+            value = fact.args[positions[0]]
+            if any(fact.args[p] != value for p in positions[1:]):
+                consistent = False
+                break
+            row.append(value)
+        if consistent:
+            relation.tuples.add(tuple(row))
+    return relation

@@ -1,0 +1,95 @@
+"""Shared fixtures: the paper's running examples and small random generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.core import OMQ
+
+
+@pytest.fixture
+def office_ontology_text() -> str:
+    return """
+    Researcher(x) -> HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> InBuilding(x, y)
+    """
+
+
+@pytest.fixture
+def office_omq(office_ontology_text) -> OMQ:
+    """The OMQ of Example 1.1."""
+    ontology = parse_ontology(office_ontology_text, name="office")
+    query = parse_query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+    return OMQ.from_parts(ontology, query, name="Q_office")
+
+
+@pytest.fixture
+def office_database() -> Database:
+    """The database of Example 1.1."""
+    return Database(
+        [
+            Fact("Researcher", ("mary",)),
+            Fact("Researcher", ("john",)),
+            Fact("Researcher", ("mike",)),
+            Fact("HasOffice", ("mary", "room1")),
+            Fact("HasOffice", ("john", "room4")),
+            Fact("InBuilding", ("room1", "main1")),
+        ]
+    )
+
+
+@pytest.fixture
+def largeoffice_omq(office_ontology_text) -> OMQ:
+    """The OMQ Q' of Example 2.2 (LargeOffice variant)."""
+    ontology = parse_ontology(
+        office_ontology_text + "\nProf(x), HasOffice(x, y) -> LargeOffice(y)",
+        name="office_large",
+    )
+    query = parse_query(
+        "q(x1, x2, x3, x4) :- HasOffice(x1, x2), LargeOffice(x2), "
+        "HasOffice(x1, x3), InBuilding(x3, x4)"
+    )
+    return OMQ.from_parts(ontology, query, name="Q_office_large")
+
+
+@pytest.fixture
+def largeoffice_database(office_database) -> Database:
+    database = office_database.copy()
+    database.add(Fact("Prof", ("mike",)))
+    return database
+
+
+@pytest.fixture
+def cone_example_omq() -> OMQ:
+    """The OMQ of Example 6.2 (balls vs. cones)."""
+    ontology = parse_ontology("A(x) -> R(x, y1), T(x, y1), S(x, y2)", name="cone")
+    query = parse_query("q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)")
+    return OMQ.from_parts(ontology, query, name="Q_cone")
+
+
+@pytest.fixture
+def cone_example_database() -> Database:
+    return Database([Fact("A", ("c",)), Fact("R", ("c", "cprime"))])
+
+
+def random_office_database(rng: random.Random, people: int = 5) -> Database:
+    """A small random office database used by the cross-check tests."""
+    rooms = [f"r{i}" for i in range(max(1, people // 2))]
+    buildings = [f"b{i}" for i in range(2)]
+    facts = []
+    for index in range(people):
+        person = f"p{index}"
+        if rng.random() < 0.7:
+            facts.append(Fact("Researcher", (person,)))
+        if rng.random() < 0.6:
+            facts.append(Fact("HasOffice", (person, rng.choice(rooms))))
+    for room in rooms:
+        if rng.random() < 0.5:
+            facts.append(Fact("InBuilding", (room, rng.choice(buildings))))
+    if not facts:
+        facts.append(Fact("Researcher", ("p0",)))
+    return Database(facts)

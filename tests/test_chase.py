@@ -1,0 +1,172 @@
+"""Tests for the chase, the query-directed chase and Horn saturation."""
+
+import pytest
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.chase import chase, horn_saturation, query_directed_chase
+from repro.chase.standard import ChaseNotTerminating, certain_facts
+from repro.cq.homomorphism import evaluate, find_homomorphism
+from repro.data import Instance
+from repro.data.terms import is_null
+
+
+class TestStandardChase:
+    def test_full_tgds_reach_fixpoint(self):
+        ontology = parse_ontology("R(x, y) -> R(y, x)\nR(x, y) -> A(x)")
+        database = Database([Fact("R", ("a", "b"))])
+        result = chase(database, ontology)
+        assert Fact("R", ("b", "a")) in result.instance
+        assert Fact("A", ("a",)) in result.instance
+        assert Fact("A", ("b",)) in result.instance
+        assert not result.truncated
+
+    def test_existentials_introduce_nulls(self):
+        ontology = parse_ontology("Researcher(x) -> HasOffice(x, y)")
+        database = Database([Fact("Researcher", ("mary",))])
+        result = chase(database, ontology)
+        offices = [f for f in result.instance if f.relation == "HasOffice"]
+        assert len(offices) == 1
+        assert is_null(offices[0].args[1])
+
+    def test_restricted_chase_does_not_fire_satisfied_heads(self):
+        ontology = parse_ontology("Researcher(x) -> HasOffice(x, y)")
+        database = Database(
+            [Fact("Researcher", ("mary",)), Fact("HasOffice", ("mary", "room1"))]
+        )
+        result = chase(database, ontology)
+        assert len(result.nulls()) == 0
+
+    def test_oblivious_chase_fires_anyway(self):
+        ontology = parse_ontology("Researcher(x) -> HasOffice(x, y)")
+        database = Database(
+            [Fact("Researcher", ("mary",)), Fact("HasOffice", ("mary", "room1"))]
+        )
+        result = chase(database, ontology, oblivious=True)
+        assert len(result.nulls()) == 1
+
+    def test_chase_result_is_a_model(self):
+        ontology = parse_ontology(
+            "Researcher(x) -> HasOffice(x, y)\nHasOffice(x, y) -> Office(y)\n"
+            "Office(x) -> InBuilding(x, y)"
+        )
+        database = Database([Fact("Researcher", ("mary",))])
+        result = chase(database, ontology)
+        for tgd in ontology:
+            body_query = tgd.body_query()
+            head_query = tgd.head_query()
+            for hom in [
+                h
+                for h in _all_body_matches(body_query, result.instance)
+            ]:
+                frontier = {v: hom[v] for v in tgd.frontier_variables()}
+                assert find_homomorphism(head_query, result.instance, partial=frontier)
+
+    def test_infinite_chase_is_truncated_by_depth(self):
+        ontology = parse_ontology("A(x) -> R(x, y), A(y)")
+        database = Database([Fact("A", ("a",))])
+        result = chase(database, ontology, max_null_depth=3)
+        assert result.truncated
+        assert max(result.null_depth.values()) == 3
+
+    def test_fact_budget_raises(self):
+        ontology = parse_ontology("A(x) -> R(x, y), A(y)")
+        database = Database([Fact("A", ("a",))])
+        with pytest.raises(ChaseNotTerminating):
+            chase(database, ontology, max_facts=10)
+
+    def test_database_part_and_certain_facts(self):
+        ontology = parse_ontology("Researcher(x) -> HasOffice(x, y)")
+        database = Database([Fact("Researcher", ("mary",))])
+        result = chase(database, ontology)
+        assert certain_facts(result) == {Fact("Researcher", ("mary",))}
+        assert result.database_part().facts() == {Fact("Researcher", ("mary",))}
+
+    def test_null_blocks_group_connected_nulls(self):
+        ontology = parse_ontology("A(x) -> R(x, y), S(y, z)")
+        database = Database([Fact("A", ("a",)), Fact("A", ("b",))])
+        result = chase(database, ontology)
+        blocks = result.null_blocks()
+        assert len(blocks) == 2
+        for nulls, anchors in blocks:
+            assert len(nulls) == 2
+            assert len(anchors) == 1
+
+    def test_empty_ontology(self):
+        from repro.tgds.ontology import Ontology
+
+        database = Database([Fact("A", ("a",))])
+        result = chase(database, Ontology(()))
+        assert result.instance.facts() == database.facts()
+
+
+def _all_body_matches(body_query, instance):
+    from repro.cq.homomorphism import all_homomorphisms
+
+    if not body_query.atoms:
+        return [{}]
+    return list(all_homomorphisms(body_query.boolean_version(), instance))
+
+
+class TestQueryDirectedChase:
+    def test_office_example_sizes(self, office_omq, office_database):
+        chased = query_directed_chase(
+            office_database, office_omq.ontology, office_omq.query
+        )
+        # mike: office + building nulls, john: building null.
+        assert len(chased.nulls()) == 3
+        assert chased.database_constants() == frozenset(office_database.adom())
+        assert chased.size() >= office_database.size()
+
+    def test_certain_answers_via_chase(self, office_omq, office_database):
+        chased = office_omq.chase(office_database)
+        answers = evaluate(office_omq.query, chased.instance)
+        complete = {a for a in answers if not any(is_null(v) for v in a)}
+        assert complete == {("mary", "room1", "main1")}
+
+    def test_blocks_have_bounded_size(self, office_omq, office_database):
+        chased = office_omq.chase(office_database)
+        for nulls, anchors in chased.blocks():
+            assert len(nulls) <= 2
+            assert len(anchors) <= 1
+
+    def test_depth_override(self, office_omq, office_database):
+        chased = query_directed_chase(
+            office_database, office_omq.ontology, office_omq.query, null_depth=1
+        )
+        assert chased.null_depth_bound == 1
+
+    def test_non_terminating_ontology_is_truncated(self):
+        ontology = parse_ontology("Person(x) -> HasParent(x, y), Person(y)")
+        query = parse_query("q(x, y) :- HasParent(x, y)")
+        database = Database([Fact("Person", ("alice",))])
+        chased = query_directed_chase(database, ontology, query)
+        assert chased.result.truncated or len(chased.nulls()) > 0
+        answers = evaluate(query, chased.instance)
+        assert any(a[0] == "alice" for a in answers)
+
+
+class TestHornSaturation:
+    def test_saturation_adds_entailed_unary_facts(self):
+        ontology = parse_ontology(
+            "HasOffice(x, y) -> Office(y)\nOffice(x) -> Room(x)"
+        )
+        database = Database([Fact("HasOffice", ("mary", "room1"))])
+        saturated = horn_saturation(database, ontology)
+        assert Fact("Office", ("room1",)) in saturated
+        assert Fact("Room", ("room1",)) in saturated
+
+    def test_saturation_matches_chase_database_part(self, office_omq, office_database):
+        saturated = horn_saturation(office_database, office_omq.ontology)
+        chased = office_omq.chase(office_database)
+        chase_certain = {f for f in chased.instance if not f.has_null()}
+        assert chase_certain <= saturated.facts() | chase_certain
+        assert {f for f in saturated if not f.has_null()} >= set(office_database)
+
+    def test_saturation_with_existential_support(self):
+        # B(x) is derivable only through the existential office.
+        ontology = parse_ontology(
+            "Researcher(x) -> HasOffice(x, y)\nHasOffice(x, y) -> Employed(x)"
+        )
+        database = Database([Fact("Researcher", ("mary",))])
+        saturated = horn_saturation(database, ontology)
+        assert Fact("Employed", ("mary",)) in saturated

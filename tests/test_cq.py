@@ -1,0 +1,163 @@
+"""Unit tests for the CQ data model, parser and structural accessors."""
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, Variable, parse_atom, parse_query
+from repro.cq.atoms import is_variable
+from repro.cq.query import QueryError
+from repro.data.facts import Fact
+
+X, Y, Z, U = Variable("x"), Variable("y"), Variable("z"), Variable("u")
+
+
+class TestAtoms:
+    def test_variables_and_constants(self):
+        atom = Atom("R", (X, "a", Y))
+        assert atom.variables() == {X, Y}
+        assert atom.constants() == {"a"}
+        assert atom.arity == 3
+
+    def test_substitute(self):
+        atom = Atom("R", (X, Y))
+        substituted = atom.substitute({X: "a"})
+        assert substituted == Atom("R", ("a", Y))
+
+    def test_to_fact(self):
+        atom = Atom("R", (X, "c"))
+        assert atom.to_fact({X: "a"}) == Fact("R", ("a", "c"))
+
+    def test_to_fact_missing_variable(self):
+        with pytest.raises(KeyError):
+            Atom("R", (X, Y)).to_fact({X: "a"})
+
+    def test_matches(self):
+        atom = Atom("R", (X, Y))
+        assert atom.matches(Fact("R", ("a", "b")))
+        assert not atom.matches(Fact("R", ("a",)))
+        assert not atom.matches(Fact("S", ("a", "b")))
+
+    def test_is_variable(self):
+        assert is_variable(X)
+        assert not is_variable("a")
+
+
+class TestParser:
+    def test_parse_atom_with_constants(self):
+        atom = parse_atom('Edge(x, "Main", 3)')
+        assert atom.relation == "Edge"
+        assert atom.args == (X, "Main", 3)
+
+    def test_parse_atom_uppercase_constant(self):
+        atom = parse_atom("Lives(x, Paris)")
+        assert atom.args == (X, "Paris")
+
+    def test_parse_nullary_atom(self):
+        assert parse_atom("Flag()").arity == 0
+
+    def test_parse_query_basic(self):
+        query = parse_query("q(x, y) :- R(x, z), S(z, y)")
+        assert query.arity == 2
+        assert query.answer_variables == (X, Y)
+        assert len(query.atoms) == 2
+
+    def test_parse_query_boolean(self):
+        query = parse_query("q() :- R(x, y)")
+        assert query.is_boolean()
+
+    def test_parse_query_requires_separator(self):
+        with pytest.raises(QueryError):
+            parse_query("q(x) R(x)")
+
+    def test_parse_query_rejects_constant_in_head(self):
+        with pytest.raises(QueryError):
+            parse_query("q(Paris) :- R(Paris, y)")
+
+    def test_parse_query_negative_integer_constant(self):
+        query = parse_query("q(x) :- Score(x, -3)")
+        atom = next(iter(query.atoms))
+        assert -3 in atom.constants()
+
+    def test_parse_bad_atom(self):
+        with pytest.raises(QueryError):
+            parse_atom("R(x")
+
+
+class TestConjunctiveQuery:
+    def make_query(self) -> ConjunctiveQuery:
+        return parse_query("q(x, y) :- R(x, z), S(z, y), A(x)")
+
+    def test_answer_variable_must_occur(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((X,), [Atom("R", (Y, Z))])
+
+    def test_variable_sets(self):
+        query = self.make_query()
+        assert query.variables() == {X, Y, Z}
+        assert query.quantified_variables() == {Z}
+        assert not query.is_full()
+
+    def test_full_query(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        assert query.is_full()
+
+    def test_self_join_freeness(self):
+        assert self.make_query().is_self_join_free()
+        query = parse_query("q(x) :- R(x, y), R(y, x)")
+        assert not query.is_self_join_free()
+
+    def test_relations_and_schema(self):
+        query = self.make_query()
+        assert query.relations() == {"R", "S", "A"}
+        assert query.schema().arity("A") == 1
+
+    def test_size(self):
+        query = parse_query("q(x) :- R(x, y)")
+        assert query.size() == 1 + (1 + 2)
+
+    def test_gaifman_graph(self):
+        query = self.make_query()
+        graph = query.gaifman_graph()
+        assert graph[Z] == {X, Y}
+        assert Y not in graph[X]
+
+    def test_connected_components(self):
+        query = parse_query("q(x, y) :- R(x, a), S(y, b)")
+        components = query.connected_components()
+        assert len(components) == 2
+        assert {c.arity for c in components} == {1}
+
+    def test_components_connected_via_constant(self):
+        query = parse_query("q(x, y) :- R(x, Hub), S(y, Hub)")
+        assert query.is_connected()
+
+    def test_canonical_database(self):
+        query = parse_query("q(x) :- R(x, y), A(x)")
+        canonical = query.canonical_database()
+        assert len(canonical) == 2
+        assert canonical.is_guarded_set({("var", "x"), ("var", "y")})
+
+    def test_substitute_drops_grounded_head_variables(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        grounded = query.substitute({X: "a"})
+        assert grounded.answer_variables == (Y,)
+        assert Atom("R", ("a", Y)) in grounded.atoms
+
+    def test_boolean_version(self):
+        assert self.make_query().boolean_version().is_boolean()
+
+    def test_drop_atoms(self):
+        query = self.make_query()
+        atom = next(a for a in query.atoms if a.relation == "S")
+        smaller = query.drop_atoms([atom])
+        assert len(smaller.atoms) == 2
+        assert smaller.answer_variables == (X,)
+
+    def test_deduplicated_head(self):
+        query = parse_query("q(x, x, y) :- R(x, y)")
+        reduced, positions = query.deduplicated_head()
+        assert reduced.answer_variables == (X, Y)
+        assert positions == [0, 0, 1]
+
+    def test_atoms_with(self):
+        query = self.make_query()
+        assert {a.relation for a in query.atoms_with(X)} == {"R", "A"}

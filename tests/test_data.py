@@ -1,0 +1,173 @@
+"""Unit tests for the relational substrate (repro.data)."""
+
+import pytest
+
+from repro.data import Database, Fact, Instance, Schema
+from repro.data.schema import SchemaError
+from repro.data.terms import Null, NullFactory, fresh_null, is_null
+
+
+class TestNulls:
+    def test_nulls_equal_by_label(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_fresh_nulls_are_distinct(self):
+        assert fresh_null() != fresh_null()
+
+    def test_factory_produces_increasing_labels(self):
+        factory = NullFactory()
+        first, second = factory(), factory()
+        assert first.label < second.label
+
+    def test_is_null(self):
+        assert is_null(Null(1))
+        assert not is_null("a")
+        assert not is_null(42)
+
+    def test_null_ordering(self):
+        assert Null(1) < Null(2)
+
+
+class TestFact:
+    def test_args_are_tuples(self):
+        fact = Fact("R", ["a", "b"])
+        assert fact.args == ("a", "b")
+        assert fact.arity == 2
+
+    def test_equality_and_hash(self):
+        assert Fact("R", ("a",)) == Fact("R", ("a",))
+        assert hash(Fact("R", ("a",))) == hash(Fact("R", ("a",)))
+        assert Fact("R", ("a",)) != Fact("S", ("a",))
+
+    def test_has_null_and_nulls(self):
+        null = Null(7)
+        fact = Fact("R", ("a", null))
+        assert fact.has_null()
+        assert fact.nulls() == {null}
+        assert not Fact("R", ("a", "b")).has_null()
+
+
+class TestSchema:
+    def test_arity_lookup(self):
+        schema = Schema({"R": 2, "A": 1})
+        assert schema.arity("R") == 2
+        assert "A" in schema
+        assert len(schema) == 2
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).arity("S")
+
+    def test_validate_fact(self):
+        schema = Schema({"R": 2})
+        schema.validate_fact(Fact("R", ("a", "b")))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("R", ("a",)))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("S", ("a",)))
+
+    def test_union_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": 2}).union(Schema({"R": 3}))
+
+    def test_union_and_restrict(self):
+        merged = Schema({"R": 2}).union(Schema({"S": 1}))
+        assert merged.symbols() == {"R", "S"}
+        assert merged.restrict(["S"]).symbols() == {"S"}
+
+    def test_from_facts(self):
+        schema = Schema.from_facts([Fact("R", ("a", "b")), Fact("A", ("a",))])
+        assert schema.arity("R") == 2
+        assert schema.arity("A") == 1
+
+    def test_from_facts_conflicting_arity(self):
+        with pytest.raises(SchemaError):
+            Schema.from_facts([Fact("R", ("a",)), Fact("R", ("a", "b"))])
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        instance = Instance()
+        assert instance.add(Fact("R", ("a", "b")))
+        assert not instance.add(Fact("R", ("a", "b")))
+        assert Fact("R", ("a", "b")) in instance
+        assert len(instance) == 1
+
+    def test_discard(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        assert instance.discard(Fact("R", ("a", "b")))
+        assert not instance.discard(Fact("R", ("a", "b")))
+        assert len(instance) == 0
+        assert instance.adom() == set()
+
+    def test_adom_and_constants_and_nulls(self):
+        null = Null(1)
+        instance = Instance([Fact("R", ("a", null)), Fact("A", ("b",))])
+        assert instance.adom() == {"a", "b", null}
+        assert instance.constants() == {"a", "b"}
+        assert instance.nulls() == {null}
+
+    def test_relation_and_facts_with(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("R", ("b", "c")), Fact("A", ("a",))])
+        assert instance.relation("R") == {Fact("R", ("a", "b")), Fact("R", ("b", "c"))}
+        assert instance.facts_with("a") == {Fact("R", ("a", "b")), Fact("A", ("a",))}
+        assert instance.relations() == {"R", "A"}
+
+    def test_restrict(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("R", ("b", "c"))])
+        restricted = instance.restrict({"a", "b"})
+        assert restricted.facts() == {Fact("R", ("a", "b"))}
+
+    def test_restrict_relations(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("A", ("a",))])
+        assert instance.restrict_relations(["A"]).facts() == {Fact("A", ("a",))}
+
+    def test_guarded_sets(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("A", ("c",))])
+        assert frozenset({"a", "b"}) in instance.guarded_sets()
+        assert instance.is_guarded_set({"a", "b"})
+        assert instance.is_guarded_set({"a"})
+        assert not instance.is_guarded_set({"a", "c"})
+        assert instance.is_guarded_set(())
+
+    def test_gaifman_graph(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("R", ("b", "c"))])
+        graph = instance.gaifman_graph()
+        assert graph["b"] == {"a", "c"}
+        assert graph["a"] == {"b"}
+
+    def test_union(self):
+        left = Instance([Fact("A", ("a",))])
+        right = Instance([Fact("B", ("b",))])
+        merged = left.union(right)
+        assert len(merged) == 2
+        assert len(left) == 1
+
+    def test_size(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("A", ("a",))])
+        assert instance.size() == 3 + 2
+
+    def test_copy_is_independent(self):
+        instance = Instance([Fact("A", ("a",))])
+        clone = instance.copy()
+        clone.add(Fact("A", ("b",)))
+        assert len(instance) == 1
+        assert len(clone) == 2
+
+    def test_schema_inference(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        assert instance.schema().arity("R") == 2
+
+
+class TestDatabase:
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError):
+            Database([Fact("R", ("a", Null(1)))])
+
+    def test_copy_returns_database(self):
+        database = Database([Fact("A", ("a",))])
+        assert isinstance(database.copy(), Database)
+
+    def test_equality_with_instance(self):
+        assert Database([Fact("A", ("a",))]) == Instance([Fact("A", ("a",))])

@@ -1,0 +1,220 @@
+"""Tests for the OMQ enumerators: Theorems 4.1(1), 5.2, 6.1 and Prop. 2.1."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.baselines import (
+    naive_certain_answers,
+    naive_minimal_partial_answers,
+    naive_minimal_partial_answers_multi,
+)
+from repro.core import (
+    OMQ,
+    WILDCARD,
+    CompleteAnswerEnumerator,
+    MinimalPartialAnswerEnumerator,
+    MultiWildcardEnumerator,
+    Wildcard,
+)
+from repro.core.progress import PartialAnswerEnumerator
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+from tests.conftest import random_office_database
+
+
+class TestCompleteAnswerEnumeration:
+    def test_office_example(self, office_omq, office_database):
+        answers = list(CompleteAnswerEnumerator(office_omq, office_database))
+        assert answers == [("mary", "room1", "main1")]
+
+    def test_no_duplicates_and_matches_naive(self, office_omq):
+        rng = random.Random(3)
+        for _ in range(10):
+            database = random_office_database(rng)
+            answers = list(CompleteAnswerEnumerator(office_omq, database))
+            assert len(answers) == len(set(answers))
+            assert set(answers) == naive_certain_answers(office_omq, database)
+
+    def test_rejects_non_free_connex_query(self):
+        ontology = parse_ontology("R(x, y) -> A(x)")
+        query = parse_query("q(x, y) :- R(x, z), S(z, y)")
+        omq = OMQ.from_parts(ontology, query)
+        with pytest.raises(Exception):
+            CompleteAnswerEnumerator(omq, Database([Fact("R", ("a", "b"))]))
+
+    def test_strict_false_allows_structurally_fine_queries(self):
+        ontology = parse_ontology("R(x, y) -> A(x)")
+        query = parse_query("q(x, y) :- R(x, y), A(x)")
+        omq = OMQ.from_parts(ontology, query)
+        database = Database([Fact("R", ("a", "b"))])
+        answers = set(CompleteAnswerEnumerator(omq, database, strict=False))
+        assert answers == {("a", "b")}
+
+    def test_university_workload(self):
+        omq = university_omq()
+        database = generate_university_database(40, seed=1)
+        answers = set(CompleteAnswerEnumerator(omq, database))
+        assert answers == naive_certain_answers(omq, database)
+
+    def test_empty_database(self, office_omq):
+        enumerator = CompleteAnswerEnumerator(office_omq, Database())
+        assert enumerator.is_empty()
+        assert list(enumerator) == []
+
+
+class TestMinimalPartialAnswerEnumeration:
+    def test_paper_example(self, office_omq, office_database):
+        answers = set(MinimalPartialAnswerEnumerator(office_omq, office_database))
+        assert answers == {
+            ("mary", "room1", "main1"),
+            ("john", "room4", WILDCARD),
+            ("mike", WILDCARD, WILDCARD),
+        }
+
+    def test_no_duplicates(self, office_omq, office_database):
+        answers = list(MinimalPartialAnswerEnumerator(office_omq, office_database))
+        assert len(answers) == len(set(answers))
+
+    def test_contains_all_complete_answers(self, office_omq):
+        rng = random.Random(41)
+        for _ in range(6):
+            database = random_office_database(rng)
+            partial = set(MinimalPartialAnswerEnumerator(office_omq, database))
+            complete = naive_certain_answers(office_omq, database)
+            assert complete <= partial
+
+    def test_matches_naive_on_random_databases(self, office_omq):
+        rng = random.Random(43)
+        for _ in range(12):
+            database = random_office_database(rng)
+            got = list(MinimalPartialAnswerEnumerator(office_omq, database))
+            assert len(got) == len(set(got))
+            assert set(got) == naive_minimal_partial_answers(office_omq, database)
+
+    def test_largeoffice_example(self, largeoffice_omq, largeoffice_database):
+        got = set(MinimalPartialAnswerEnumerator(largeoffice_omq, largeoffice_database))
+        assert got == naive_minimal_partial_answers(
+            largeoffice_omq, largeoffice_database
+        )
+        assert ("mike", WILDCARD, WILDCARD, WILDCARD) in got
+
+    def test_university_workload(self):
+        omq = university_omq()
+        database = generate_university_database(30, seed=7)
+        got = set(MinimalPartialAnswerEnumerator(omq, database))
+        assert got == naive_minimal_partial_answers(omq, database)
+
+    def test_cone_example(self, cone_example_omq, cone_example_database):
+        got = set(MinimalPartialAnswerEnumerator(cone_example_omq, cone_example_database))
+        assert got == {("c", "cprime", WILDCARD, WILDCARD)}
+
+    def test_boolean_omq(self):
+        ontology = parse_ontology("A(x) -> R(x, y)")
+        query = parse_query("q() :- R(x, y)")
+        omq = OMQ.from_parts(ontology, query)
+        has_answer = Database([Fact("A", ("a",))])
+        assert list(MinimalPartialAnswerEnumerator(omq, has_answer)) == [()]
+        assert list(MinimalPartialAnswerEnumerator(omq, Database())) == []
+
+    def test_rejects_non_acyclic_query(self):
+        ontology = parse_ontology("R(x, y) -> A(x)")
+        query = parse_query("q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+        omq = OMQ.from_parts(ontology, query)
+        with pytest.raises(Exception):
+            MinimalPartialAnswerEnumerator(omq, Database([Fact("R", ("a", "b"))]))
+
+
+class TestDatabasePreferringOrder:
+    def test_less_wildcarded_answers_for_same_prefix_come_first(
+        self, office_omq, office_database
+    ):
+        # For a fixed first component value, answers with fewer wildcards are
+        # produced before answers with more wildcards.
+        answers = list(MinimalPartialAnswerEnumerator(office_omq, office_database))
+        by_person = {}
+        for answer in answers:
+            by_person.setdefault(answer[0], []).append(answer)
+        for person_answers in by_person.values():
+            stars = [sum(1 for v in a if v is WILDCARD) for a in person_answers]
+            assert stars == sorted(stars)
+
+    def test_complete_first_order(self, office_omq):
+        rng = random.Random(47)
+        for _ in range(6):
+            database = random_office_database(rng)
+            enumerator = MinimalPartialAnswerEnumerator(office_omq, database)
+            ordered = list(enumerator.enumerate_complete_first())
+            # Same multiset of answers as the plain enumeration.
+            assert set(ordered) == naive_minimal_partial_answers(office_omq, database)
+            assert len(ordered) == len(set(ordered))
+            # All complete answers precede all wildcard answers.
+            seen_wildcard = False
+            for answer in ordered:
+                if any(v is WILDCARD for v in answer):
+                    seen_wildcard = True
+                else:
+                    assert not seen_wildcard, "complete answer after a wildcard answer"
+
+
+class TestMultiWildcardEnumeration:
+    def test_paper_example(self, office_omq, office_database):
+        answers = set(MultiWildcardEnumerator(office_omq, office_database))
+        assert answers == {
+            ("mary", "room1", "main1"),
+            ("john", "room4", Wildcard(1)),
+            ("mike", Wildcard(1), Wildcard(2)),
+        }
+
+    def test_cone_example_from_paper(self, cone_example_omq, cone_example_database):
+        # Example 6.2: the ball of (c, c', *, *) misses (c, *1, *2, *1); the
+        # cone-based algorithm finds both minimal multi-wildcard answers.
+        answers = set(MultiWildcardEnumerator(cone_example_omq, cone_example_database))
+        assert answers == {
+            ("c", "cprime", Wildcard(1), Wildcard(2)),
+            ("c", Wildcard(1), Wildcard(2), Wildcard(1)),
+        }
+
+    def test_largeoffice_example(self, largeoffice_omq, largeoffice_database):
+        answers = set(MultiWildcardEnumerator(largeoffice_omq, largeoffice_database))
+        assert ("mike", Wildcard(1), Wildcard(1), Wildcard(2)) in answers
+        assert ("mike", Wildcard(1), Wildcard(2), Wildcard(3)) not in answers
+        assert answers == naive_minimal_partial_answers_multi(
+            largeoffice_omq, largeoffice_database
+        )
+
+    def test_matches_naive_on_random_databases(self, office_omq):
+        rng = random.Random(53)
+        for _ in range(10):
+            database = random_office_database(rng)
+            got = list(MultiWildcardEnumerator(office_omq, database))
+            assert len(got) == len(set(got))
+            assert set(got) == naive_minimal_partial_answers_multi(office_omq, database)
+
+    def test_university_workload(self):
+        omq = university_omq()
+        database = generate_university_database(25, seed=3)
+        got = set(MultiWildcardEnumerator(omq, database))
+        assert got == naive_minimal_partial_answers_multi(omq, database)
+
+
+class TestCQLevelPartialEnumerator:
+    def test_runs_directly_on_chase_instances(self, office_omq, office_database):
+        chased = office_omq.chase(office_database)
+        enumerator = PartialAnswerEnumerator(office_omq.query, chased.instance)
+        assert set(enumerator.enumerate()) == naive_minimal_partial_answers(
+            office_omq, office_database
+        )
+
+    def test_plain_instance_without_nulls(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        from repro.data import Instance
+
+        instance = Instance([Fact("R", ("a", "b"))])
+        enumerator = PartialAnswerEnumerator(query, instance)
+        assert set(enumerator.enumerate()) == {("a", "b")}

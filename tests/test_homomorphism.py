@@ -1,0 +1,125 @@
+"""Tests for homomorphism search and reference CQ evaluation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import Variable, parse_query
+from repro.cq.homomorphism import (
+    all_homomorphisms,
+    evaluate,
+    find_homomorphism,
+    is_homomorphism,
+    satisfies,
+)
+from repro.data import Fact, Instance
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def path_instance() -> Instance:
+    return Instance(
+        [
+            Fact("R", ("a", "b")),
+            Fact("R", ("b", "c")),
+            Fact("S", ("b", "d")),
+            Fact("S", ("c", "d")),
+            Fact("A", ("a",)),
+        ]
+    )
+
+
+class TestHomomorphisms:
+    def test_is_homomorphism(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        instance = path_instance()
+        assert is_homomorphism({X: "a", Y: "b"}, query, instance)
+        assert not is_homomorphism({X: "a", Y: "c"}, query, instance)
+        assert not is_homomorphism({X: "a"}, query, instance)
+
+    def test_find_homomorphism_respects_partial(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        instance = path_instance()
+        hom = find_homomorphism(query, instance, partial={X: "b"})
+        assert hom is not None and hom[X] == "b" and hom[Y] == "c"
+        assert find_homomorphism(query, instance, partial={X: "d"}) is None
+
+    def test_all_homomorphisms_count(self):
+        query = parse_query("q(x, y) :- R(x, y)")
+        homs = list(all_homomorphisms(query, path_instance()))
+        assert len(homs) == 2
+
+    def test_constants_in_query(self):
+        query = parse_query('q(x) :- R(x, "b")')
+        assert evaluate(query, path_instance()) == {("a",)}
+
+    def test_repeated_variables(self):
+        instance = Instance([Fact("R", ("a", "a")), Fact("R", ("a", "b"))])
+        query = parse_query("q(x) :- R(x, x)")
+        assert evaluate(query, instance) == {("a",)}
+
+    def test_evaluate_join(self):
+        query = parse_query("q(x, z) :- R(x, y), S(y, z)")
+        assert evaluate(query, path_instance()) == {("a", "d"), ("b", "d")}
+
+    def test_evaluate_boolean(self):
+        query = parse_query("q() :- R(x, y), S(y, z)")
+        assert evaluate(query, path_instance()) == {()}
+        assert satisfies(query, path_instance())
+
+    def test_unsatisfiable_query(self):
+        query = parse_query("q(x) :- R(x, y), A(y)")
+        assert evaluate(query, path_instance()) == set()
+        assert not satisfies(query, path_instance())
+
+    def test_self_join(self):
+        query = parse_query("q(x, z) :- R(x, y), R(y, z)")
+        assert evaluate(query, path_instance()) == {("a", "c")}
+
+    def test_empty_instance(self):
+        query = parse_query("q(x) :- R(x, y)")
+        assert evaluate(query, Instance()) == set()
+
+
+def _brute_force_evaluate(query, instance):
+    """Exhaustive evaluation by trying every assignment of variables."""
+    domain = sorted(instance.adom(), key=repr)
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    answers = set()
+
+    def recurse(index, assignment):
+        if index == len(variables):
+            if is_homomorphism(assignment, query, instance):
+                answers.add(tuple(assignment[v] for v in query.answer_variables))
+            return
+        for value in domain:
+            assignment[variables[index]] = value
+            recurse(index + 1, assignment)
+        del assignment[variables[index]]
+
+    recurse(0, {})
+    return answers
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_evaluation_matches_brute_force(seed):
+    """Property: the backtracking evaluator agrees with exhaustive search."""
+    rng = random.Random(seed)
+    constants = ["a", "b", "c", "d"]
+    facts = []
+    for _ in range(rng.randint(1, 8)):
+        facts.append(Fact("R", (rng.choice(constants), rng.choice(constants))))
+    for _ in range(rng.randint(0, 4)):
+        facts.append(Fact("A", (rng.choice(constants),)))
+    instance = Instance(facts)
+    queries = [
+        parse_query("q(x, y) :- R(x, y)"),
+        parse_query("q(x) :- R(x, y), A(y)"),
+        parse_query("q(x, z) :- R(x, y), R(y, z)"),
+        parse_query("q(x) :- R(x, x)"),
+        parse_query("q() :- R(x, y), A(x)"),
+    ]
+    for query in queries:
+        assert evaluate(query, instance) == _brute_force_evaluate(query, instance)

@@ -1,0 +1,89 @@
+"""Tests for the Dowling–Gallier Horn minimal-model computation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hornsat import HornClause, HornFormula, minimal_model
+
+
+class TestHornFormula:
+    def test_facts_are_derived(self):
+        formula = HornFormula()
+        formula.add_fact("a")
+        formula.add_fact("b")
+        assert minimal_model(formula) == {"a", "b"}
+
+    def test_simple_chain(self):
+        formula = HornFormula()
+        formula.add_fact("a")
+        formula.add_rule(["a"], "b")
+        formula.add_rule(["b"], "c")
+        assert minimal_model(formula) == {"a", "b", "c"}
+
+    def test_unsupported_head_not_derived(self):
+        formula = HornFormula()
+        formula.add_fact("a")
+        formula.add_rule(["b"], "c")
+        assert minimal_model(formula) == {"a"}
+
+    def test_conjunction_in_body(self):
+        formula = HornFormula()
+        formula.add_fact("a")
+        formula.add_rule(["a", "b"], "c")
+        assert "c" not in minimal_model(formula)
+        formula.add_fact("b")
+        assert "c" in minimal_model(formula)
+
+    def test_cycle_without_support_is_not_derived(self):
+        formula = HornFormula()
+        formula.add_rule(["a"], "b")
+        formula.add_rule(["b"], "a")
+        assert minimal_model(formula) == set()
+
+    def test_clause_classification(self):
+        assert HornClause((), "a").is_fact()
+        assert not HornClause(("b",), "a").is_fact()
+
+    def test_variables_and_size(self):
+        formula = HornFormula()
+        formula.add_rule(["a", "b"], "c")
+        formula.add_fact("d")
+        assert formula.variables() == {"a", "b", "c", "d"}
+        assert formula.size() == 3 + 1
+        assert len(formula) == 2
+
+    def test_duplicate_rules_are_harmless(self):
+        formula = HornFormula()
+        formula.add_fact("a")
+        formula.add_rule(["a"], "b")
+        formula.add_rule(["a"], "b")
+        assert minimal_model(formula) == {"a", "b"}
+
+
+def _naive_fixpoint(formula: HornFormula) -> set:
+    derived = set()
+    changed = True
+    while changed:
+        changed = False
+        for clause in formula.clauses:
+            if clause.head not in derived and set(clause.body) <= derived:
+                derived.add(clause.head)
+                changed = True
+    return derived
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_minimal_model_matches_naive_fixpoint(seed):
+    """Property: linear-time propagation equals the naive fixpoint."""
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(rng.randint(2, 10))]
+    formula = HornFormula()
+    for _ in range(rng.randint(0, 3)):
+        formula.add_fact(rng.choice(variables))
+    for _ in range(rng.randint(1, 12)):
+        body_size = rng.randint(1, min(3, len(variables)))
+        formula.add_rule(rng.sample(variables, body_size), rng.choice(variables))
+    assert minimal_model(formula) == _naive_fixpoint(formula)

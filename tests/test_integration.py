@@ -1,0 +1,105 @@
+"""End-to-end integration tests: all evaluation modes agree with each other."""
+
+import random
+
+from repro.baselines import (
+    naive_certain_answers,
+    naive_minimal_partial_answers,
+    naive_minimal_partial_answers_multi,
+)
+from repro.core import (
+    WILDCARD,
+    CompleteAnswerEnumerator,
+    MinimalPartialAnswerEnumerator,
+    MultiWildcardEnumerator,
+    OMQAllTester,
+    OMQSingleTester,
+)
+from repro.core.wildcards import leq_partial, multi_to_single
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+
+def _check_consistency(omq, database):
+    """The cross-mode invariants of the paper, checked on one database."""
+    complete = set(CompleteAnswerEnumerator(omq, database))
+    partial = set(MinimalPartialAnswerEnumerator(omq, database))
+    multi = set(MultiWildcardEnumerator(omq, database))
+
+    # Reference implementations agree.
+    assert complete == naive_certain_answers(omq, database)
+    assert partial == naive_minimal_partial_answers(omq, database)
+    assert multi == naive_minimal_partial_answers_multi(omq, database)
+
+    # Q(D) ⊆ Q(D)* and |Q(D)*| <= |Q(D)^W| (Claim D.2).
+    assert complete <= partial
+    assert len(partial) <= len(multi) or not multi
+    # Collapsing multi-wildcards gives tuples dominated by some minimal
+    # single-wildcard answer.
+    for answer in multi:
+        collapsed = multi_to_single(answer)
+        assert any(leq_partial(m, collapsed) for m in partial)
+
+    # Single-testing and all-testing agree with enumeration.
+    tester = OMQSingleTester(omq, database)
+    all_tester = OMQAllTester(omq, database)
+    for answer in complete:
+        assert tester.test_complete(answer)
+        assert all_tester.test(answer)
+    for answer in partial:
+        assert tester.test_minimal_partial(answer)
+    for answer in multi:
+        assert tester.test_minimal_partial_multi(answer)
+
+    # Complete-first enumeration is a permutation with complete prefix.
+    ordered = list(
+        MinimalPartialAnswerEnumerator(omq, database).enumerate_complete_first()
+    )
+    assert set(ordered) == partial
+    wildcard_seen = False
+    for answer in ordered:
+        if any(v is WILDCARD for v in answer):
+            wildcard_seen = True
+        else:
+            assert not wildcard_seen
+
+
+class TestOfficeIntegration:
+    def test_small_generated_databases(self):
+        omq = office_omq()
+        for seed in (1, 2, 3):
+            database = generate_office_database(12, seed=seed)
+            _check_consistency(omq, database)
+
+    def test_medium_database_counts(self):
+        omq = office_omq()
+        database = generate_office_database(200, seed=9)
+        complete = set(CompleteAnswerEnumerator(omq, database))
+        partial = set(MinimalPartialAnswerEnumerator(omq, database))
+        researchers = sum(1 for f in database if f.relation == "Researcher")
+        # Every researcher contributes exactly one minimal partial answer
+        # whose first component is that researcher.
+        first_components = {a[0] for a in partial}
+        assert len(first_components) >= researchers
+        assert complete <= partial
+
+
+class TestUniversityIntegration:
+    def test_small_generated_databases(self):
+        omq = university_omq()
+        for seed in (4, 5):
+            database = generate_university_database(15, seed=seed)
+            _check_consistency(omq, database)
+
+    def test_answer_shape_statistics(self):
+        omq = university_omq()
+        database = generate_university_database(80, seed=8)
+        partial = list(MinimalPartialAnswerEnumerator(omq, database))
+        stars = [sum(1 for v in a if v is WILDCARD) for a in partial]
+        # The workload produces complete answers, one-wildcard answers
+        # (advisor known, department anonymous) and two-wildcard answers.
+        assert {0, 1, 2} <= set(stars)

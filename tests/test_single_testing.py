@@ -1,0 +1,180 @@
+"""Tests for single-testing (Theorem 3.1) and all-testing (Theorem 4.1(2))."""
+
+import random
+
+import pytest
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.baselines import (
+    naive_certain_answers,
+    naive_minimal_partial_answers,
+    naive_minimal_partial_answers_multi,
+    naive_partial_answers,
+)
+from repro.core import OMQ, WILDCARD, OMQAllTester, OMQSingleTester, Wildcard
+from repro.core.wildcards import collapse_nulls, leq_partial
+from tests.conftest import random_office_database
+
+
+class TestCompleteSingleTesting:
+    def test_office_example(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        assert tester.test_complete(("mary", "room1", "main1"))
+        assert not tester.test_complete(("john", "room4", "main1"))
+        assert not tester.test_complete(("mike", "room1", "main1"))
+
+    def test_values_outside_adom_rejected(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        assert not tester.test_complete(("mary", "room1", "atlantis"))
+
+    def test_wrong_arity_raises(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        with pytest.raises(Exception):
+            tester.test_complete(("mary",))
+
+    def test_repeated_answer_variables(self):
+        ontology = parse_ontology("Friend(x, y) -> Person(x)")
+        query = parse_query("q(x, y) :- Friend(x, y), Person(x)")
+        omq = OMQ.from_parts(ontology, query)
+        database = Database([Fact("Friend", ("a", "b"))])
+        tester = OMQSingleTester(omq, database)
+        assert tester.test_complete(("a", "b"))
+        assert not tester.test_complete(("b", "a"))
+
+    def test_matches_naive_on_random_databases(self, office_omq):
+        rng = random.Random(5)
+        for _ in range(10):
+            database = random_office_database(rng)
+            tester = OMQSingleTester(office_omq, database)
+            expected = naive_certain_answers(office_omq, database)
+            adom = sorted(database.adom(), key=repr)
+            candidates = set(expected)
+            for _ in range(15):
+                candidates.add(tuple(rng.choice(adom) for _ in range(3)))
+            for candidate in candidates:
+                assert tester.test_complete(candidate) == (candidate in expected)
+
+
+class TestPartialSingleTesting:
+    def test_paper_example_minimal_answers(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        assert tester.test_minimal_partial(("mary", "room1", "main1"))
+        assert tester.test_minimal_partial(("john", "room4", WILDCARD))
+        assert tester.test_minimal_partial(("mike", WILDCARD, WILDCARD))
+
+    def test_non_minimal_partial_answers(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        # Partial but not minimal: can be improved to (mary, room1, main1).
+        assert tester.test_partial(("mary", "room1", WILDCARD))
+        assert not tester.test_minimal_partial(("mary", "room1", WILDCARD))
+        assert tester.test_partial((WILDCARD, WILDCARD, WILDCARD))
+        assert not tester.test_minimal_partial((WILDCARD, WILDCARD, WILDCARD))
+
+    def test_non_partial_answers(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        assert not tester.test_partial(("john", "room1", WILDCARD))
+        assert not tester.test_minimal_partial(("main1", WILDCARD, WILDCARD))
+
+    def test_partial_testing_matches_naive(self, office_omq):
+        rng = random.Random(17)
+        for _ in range(8):
+            database = random_office_database(rng)
+            tester = OMQSingleTester(office_omq, database)
+            minimal = naive_minimal_partial_answers(office_omq, database)
+            partial = naive_partial_answers(office_omq, database)
+            for candidate in minimal:
+                assert tester.test_minimal_partial(candidate), candidate
+            # Everything strictly above a minimal answer is partial but not minimal.
+            for candidate in partial - minimal:
+                assert tester.test_partial(candidate)
+                assert not tester.test_minimal_partial(candidate)
+
+    def test_partial_answers_closed_upwards(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        base = ("john", "room4", WILDCARD)
+        weaker = ("john", WILDCARD, WILDCARD)
+        assert leq_partial(base, weaker)
+        assert tester.test_partial(base) and tester.test_partial(weaker)
+
+
+class TestMultiWildcardSingleTesting:
+    def test_office_example(self, office_omq, office_database):
+        tester = OMQSingleTester(office_omq, office_database)
+        assert tester.test_minimal_partial_multi(("mike", Wildcard(1), Wildcard(2)))
+        assert not tester.test_minimal_partial_multi(("mike", Wildcard(1), Wildcard(1)))
+        assert tester.test_minimal_partial_multi(("john", "room4", Wildcard(1)))
+
+    def test_largeoffice_example(self, largeoffice_omq, largeoffice_database):
+        tester = OMQSingleTester(largeoffice_omq, largeoffice_database)
+        answer = ("mike", Wildcard(1), Wildcard(1), Wildcard(2))
+        non_minimal = ("mike", Wildcard(1), Wildcard(2), Wildcard(3))
+        assert tester.test_minimal_partial_multi(answer)
+        assert tester.test_partial_multi(non_minimal)
+        assert not tester.test_minimal_partial_multi(non_minimal)
+
+    def test_matches_naive_enumeration(self, office_omq):
+        rng = random.Random(23)
+        for _ in range(6):
+            database = random_office_database(rng)
+            tester = OMQSingleTester(office_omq, database)
+            expected = naive_minimal_partial_answers_multi(office_omq, database)
+            for candidate in expected:
+                assert tester.test_minimal_partial_multi(candidate), candidate
+
+    def test_officemate_example(self):
+        # Example 2.2, Q'' and D'': (mary, mike, *1, *1) is a minimal partial
+        # answer because the office mates share an (anonymous) office.
+        ontology = parse_ontology(
+            """
+            Researcher(x) -> HasOffice(x, y)
+            HasOffice(x, y) -> Office(y)
+            Office(x) -> InBuilding(x, y)
+            OfficeMate(x, y) -> HasOffice(x, z), HasOffice(y, z)
+            """
+        )
+        query = parse_query(
+            "q(x1, x2, x3, x4) :- HasOffice(x1, x3), HasOffice(x2, x4), "
+            "InBuilding(x3, y), InBuilding(x4, y)"
+        )
+        omq = OMQ.from_parts(ontology, query)
+        database = Database(
+            [
+                Fact("Researcher", ("mary",)),
+                Fact("Researcher", ("mike",)),
+                Fact("HasOffice", ("mary", "room1")),
+                Fact("InBuilding", ("room1", "main1")),
+                Fact("OfficeMate", ("mary", "mike")),
+            ]
+        )
+        tester = OMQSingleTester(omq, database)
+        assert tester.test_minimal_partial_multi(
+            ("mary", "mike", Wildcard(1), Wildcard(1))
+        )
+
+
+class TestAllTesting:
+    def test_office_example(self, office_omq, office_database):
+        tester = OMQAllTester(office_omq, office_database)
+        assert tester(("mary", "room1", "main1"))
+        assert not tester(("john", "room4", "main1"))
+        assert not tester(("mary", "room1", "room1"))
+
+    def test_requires_free_connex(self):
+        ontology = parse_ontology("R(x, y) -> A(x)")
+        query = parse_query("q(x, y) :- R(x, z), S(z, y)")
+        omq = OMQ.from_parts(ontology, query)
+        with pytest.raises(Exception):
+            OMQAllTester(omq, Database([Fact("R", ("a", "b"))]))
+
+    def test_matches_naive_on_random_databases(self, office_omq):
+        rng = random.Random(31)
+        for _ in range(8):
+            database = random_office_database(rng)
+            tester = OMQAllTester(office_omq, database)
+            expected = naive_certain_answers(office_omq, database)
+            adom = sorted(database.adom(), key=repr)
+            for _ in range(20):
+                candidate = tuple(rng.choice(adom) for _ in range(3))
+                assert tester.test(candidate) == (candidate in expected)
+            for answer in expected:
+                assert tester.test(answer)

@@ -1,0 +1,142 @@
+"""Tests for the workload generators and the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench import (
+    DelayProfile,
+    format_table,
+    linear_fit,
+    measure_enumeration,
+    print_table,
+    scaling_exponent,
+    time_call,
+)
+from repro.core import CompleteAnswerEnumerator, MinimalPartialAnswerEnumerator
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    random_graph,
+    random_sparse_matrix,
+    university_omq,
+)
+from repro.workloads.office import OfficeProfile
+from repro.workloads.university import UniversityProfile
+
+
+class TestOfficeWorkload:
+    def test_omq_structure(self):
+        omq = office_omq()
+        assert omq.is_acyclic() and omq.is_free_connex_acyclic() and omq.is_eli()
+
+    def test_database_scales_with_researchers(self):
+        small = generate_office_database(10, seed=1)
+        large = generate_office_database(100, seed=1)
+        assert len(large) > len(small)
+        omq = office_omq()
+        omq.validate_database(small)
+
+    def test_generation_is_deterministic(self):
+        assert generate_office_database(20, seed=5).facts() == generate_office_database(
+            20, seed=5
+        ).facts()
+        assert generate_office_database(20, seed=5).facts() != generate_office_database(
+            20, seed=6
+        ).facts()
+
+    def test_profile_extremes(self):
+        complete = generate_office_database(
+            30, profile=OfficeProfile(1.0, 1.0), seed=2
+        )
+        sparse = generate_office_database(30, profile=OfficeProfile(0.0, 0.0), seed=2)
+        assert len(complete) > len(sparse)
+        omq = office_omq()
+        # Fully complete databases have no wildcard answers.
+        from repro.core import WILDCARD
+
+        answers = list(MinimalPartialAnswerEnumerator(omq, complete))
+        assert answers and all(WILDCARD not in a for a in answers)
+
+
+class TestUniversityWorkload:
+    def test_omq_structure(self):
+        omq = university_omq()
+        assert omq.is_acyclic() and omq.is_free_connex_acyclic() and omq.is_eli()
+
+    def test_database_is_valid_and_scales(self):
+        omq = university_omq()
+        database = generate_university_database(50, seed=3)
+        omq.validate_database(database)
+        bigger = generate_university_database(200, seed=3)
+        assert len(bigger) > len(database)
+
+    def test_profile_controls_advisors(self):
+        none = generate_university_database(
+            40, profile=UniversityProfile(advisor_probability=0.0), seed=1
+        )
+        assert not any(f.relation == "HasAdvisor" for f in none)
+
+
+class TestGraphAndMatrixGenerators:
+    def test_random_graph_is_simple(self):
+        edges = random_graph(10, 20, seed=1)
+        assert len(edges) <= 20
+        assert all(u != v for u, v in edges)
+        assert len({frozenset(e) for e in edges}) == len(edges)
+
+    def test_random_matrix_density(self):
+        entries = random_sparse_matrix(10, 0.2, seed=1)
+        assert len(entries) == 20
+        assert all(0 <= i < 10 and 0 <= j < 10 for i, j in entries)
+
+
+class TestBenchHelpers:
+    def test_time_call(self):
+        elapsed, result = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0
+
+    def test_measure_enumeration(self, office_omq, office_database):
+        profile = measure_enumeration(
+            lambda: CompleteAnswerEnumerator(office_omq, office_database)
+        )
+        assert profile.answer_count == 1
+        assert profile.preprocessing_seconds > 0
+        assert profile.max_delay >= profile.mean_delay >= 0
+
+    def test_measure_enumeration_truncates(self, office_omq, office_database):
+        profile = measure_enumeration(
+            lambda: MinimalPartialAnswerEnumerator(office_omq, office_database),
+            max_answers=2,
+        )
+        assert profile.answer_count == 2
+
+    def test_delay_profile_percentile(self):
+        profile = DelayProfile(0.0, 4, 1.0, delays=[0.1, 0.2, 0.3, 0.4])
+        assert profile.percentile_delay(0.5) == 0.3
+        assert DelayProfile(0.0, 0, 0.0).percentile_delay(0.5) == 0.0
+
+    def test_format_table(self):
+        text = format_table(["n", "time"], [(10, 0.5), (100, 1.0)], title="demo")
+        assert "demo" in text and "100" in text
+
+    def test_print_table(self, capsys):
+        print_table(["a"], [(1,)])
+        assert "1" in capsys.readouterr().out
+
+    def test_linear_fit(self):
+        slope, intercept, r2 = linear_fit([1, 2, 3, 4], [2, 4, 6, 8])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(0.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_linear_fit_requires_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_scaling_exponent(self):
+        xs = [10, 20, 40, 80]
+        linear = [x * 3.0 for x in xs]
+        quadratic = [x * x / 10 for x in xs]
+        assert scaling_exponent(xs, linear) == pytest.approx(1.0, abs=0.05)
+        assert scaling_exponent(xs, quadratic) == pytest.approx(2.0, abs=0.05)
