@@ -1,0 +1,60 @@
+"""Shared ``--smoke`` CLI for the benchmark scripts.
+
+Every ``bench_e*.py`` exposes a ``smoke()`` function that exercises the same
+code path as the full pytest sweep on tiny inputs and returns a metrics
+dictionary.  ``bench_main`` wraps it in an argument parser and emits a
+one-line JSON report to stdout, so CI can assert that every experiment still
+runs end-to-end in seconds.  Full-size runs go through pytest:
+``python -m pytest benchmarks -m bench --benchmark-disable -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import traceback
+from typing import Callable
+
+
+def bench_main(name: str, smoke: Callable[[], dict]) -> int:
+    parser = argparse.ArgumentParser(
+        description=f"benchmark {name} (smoke harness)",
+        epilog=(
+            "Full-size sweeps run through pytest: "
+            "python -m pytest benchmarks -m bench --benchmark-disable -s"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the experiment on tiny inputs and print a JSON report",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    if not __debug__:
+        # The smoke() cross-checks are assert statements; under -O they all
+        # vanish and the report would claim ok=true without checking anything.
+        print(
+            "error: smoke checks require asserts enabled (do not run with "
+            "python -O / PYTHONOPTIMIZE)",
+            file=sys.stderr,
+        )
+        return 1
+    start = time.perf_counter()
+    payload: dict = {"bench": name, "mode": "smoke"}
+    try:
+        payload["metrics"] = smoke()
+        payload["ok"] = True
+    except Exception as exc:  # surfaced in the JSON so run_all can aggregate
+        payload["metrics"] = {}
+        payload["ok"] = False
+        payload["error"] = f"{type(exc).__name__}: {exc}"
+        traceback.print_exc(file=sys.stderr)
+    payload["seconds"] = round(time.perf_counter() - start, 4)
+    json.dump(payload, sys.stdout)
+    sys.stdout.write("\n")
+    return 0 if payload["ok"] else 1

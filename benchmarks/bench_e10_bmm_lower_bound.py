@@ -81,3 +81,26 @@ def test_e10_bmm_lower_bound(benchmark):
     m2 = random_sparse_matrix(25, DENSITY, seed=100)
     database = matrices_to_database(m1, m2)
     benchmark(lambda: list(CompleteAnswerEnumerator(full, database)))
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: BMM via the projected and full OMQs."""
+    m1 = random_sparse_matrix(8, DENSITY, seed=8)
+    m2 = random_sparse_matrix(8, DENSITY, seed=9)
+    database = matrices_to_database(m1, m2)
+    sparse = boolean_matrix_multiply_sparse(m1, m2)
+    assert naive_certain_answers(bmm_omq(), database) == sparse
+    full_answers = list(CompleteAnswerEnumerator(bmm_free_connex_omq(), database))
+    return {
+        "input_ones": len(m1) + len(m2),
+        "output_ones": len(sparse),
+        "full_answers": len(full_answers),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e10_bmm_lower_bound", smoke))

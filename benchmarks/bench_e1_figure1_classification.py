@@ -36,3 +36,18 @@ def test_e1_figure1_classification(benchmark):
         _classification_rows(),
         title="E1  Figure 1: acyclicity classification of the example CQs",
     )
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: classify every Figure 1 example query."""
+    results = [classify(query) for _name, query, _props in figure1_examples()]
+    assert len(results) == 5
+    return {"queries": len(results)}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e1_figure1_classification", smoke))

@@ -44,3 +44,25 @@ def test_e2_chase_scaling(benchmark):
 
     database = generate_office_database(800, seed=800)
     benchmark(omq.chase, database)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: one query-directed chase on a small database."""
+    omq = office_omq()
+    database = generate_office_database(60, seed=60)
+    elapsed, chased = time_call(omq.chase, database)
+    assert len(chased.instance) >= len(database)
+    return {
+        "db_facts": len(database),
+        "chase_facts": len(chased.instance),
+        "nulls": len(chased.nulls()),
+        "chase_ms": round(elapsed * 1000, 3),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e2_chase_scaling", smoke))

@@ -69,3 +69,24 @@ def test_e3_single_testing_complete(benchmark):
     tester = OMQSingleTester(omq, database)
     candidate = next(iter(naive_certain_answers(omq, database)), ("a", "b", "c"))
     benchmark(tester.test_complete, candidate)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: single-test a handful of candidates."""
+    omq = office_omq()
+    rng = random.Random(0)
+    database = generate_office_database(60, seed=60)
+    candidates = _candidates(database, rng, 10)
+    tester = OMQSingleTester(omq, database)
+    positives = sum(1 for candidate in candidates if tester.test_complete(candidate))
+    reference = naive_certain_answers(omq, database)
+    assert positives == sum(1 for c in candidates if c in reference)
+    return {"db_facts": len(database), "tests": len(candidates), "positives": positives}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e3_single_testing", smoke))

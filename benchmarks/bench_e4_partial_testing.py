@@ -68,3 +68,29 @@ def test_e4_single_testing_partial(benchmark):
     tester = OMQSingleTester(omq, database)
     answer = next(iter(MinimalPartialAnswerEnumerator(omq, database)))
     benchmark(tester.test_minimal_partial, answer)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: test a few enumerated minimal partial answers."""
+    omq = office_omq()
+    database = generate_office_database(80, seed=80)
+    single_answers = list(MinimalPartialAnswerEnumerator(omq, database))[:5]
+    multi_answers = list(MultiWildcardEnumerator(omq, database))[:5]
+    tester = OMQSingleTester(omq, database)
+    for answer in single_answers:
+        assert tester.test_minimal_partial(answer)
+    for answer in multi_answers:
+        assert tester.test_minimal_partial_multi(answer)
+    return {
+        "db_facts": len(database),
+        "single_tested": len(single_answers),
+        "multi_tested": len(multi_answers),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e4_partial_testing", smoke))

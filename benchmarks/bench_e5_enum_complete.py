@@ -86,3 +86,27 @@ def test_e5_enumeration_university(benchmark):
     omq = university_omq()
     database = generate_university_database(800, seed=800)
     benchmark(lambda: list(CompleteAnswerEnumerator(omq, database)))
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: enumerate complete answers on both workloads."""
+    metrics: dict = {}
+    for label, omq_factory, generator in (
+        ("office", office_omq, generate_office_database),
+        ("university", university_omq, generate_university_database),
+    ):
+        omq = omq_factory()
+        database = generator(60, seed=60)
+        answers = set(CompleteAnswerEnumerator(omq, database))
+        assert answers == naive_certain_answers(omq, database)
+        metrics[f"{label}_answers"] = len(answers)
+        metrics[f"{label}_db_facts"] = len(database)
+    return metrics
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e5_enum_complete", smoke))

@@ -66,3 +66,23 @@ def test_e6_all_testing(benchmark):
     adom = sorted(database.adom(), key=repr)
     candidate = (adom[0], adom[1], adom[2])
     benchmark(tester.test, candidate)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: all-test a batch of random candidates."""
+    omq = office_omq()
+    rng = random.Random(1)
+    database = generate_office_database(60, seed=60)
+    adom = sorted(database.adom(), key=repr)
+    candidates = [tuple(rng.choice(adom) for _ in range(3)) for _ in range(100)]
+    tester = OMQAllTester(omq, database)
+    positives = sum(1 for candidate in candidates if tester.test(candidate))
+    return {"db_facts": len(database), "tests": len(candidates), "positives": positives}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e6_all_testing", smoke))

@@ -112,3 +112,21 @@ def test_e7_complete_answers_first(benchmark):
 
     count = benchmark(run)
     assert count > 0
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: minimal partial answers against the baseline."""
+    omq = office_omq()
+    database = generate_office_database(60, seed=60)
+    answers = list(MinimalPartialAnswerEnumerator(omq, database))
+    naive = naive_minimal_partial_answers(omq, database)
+    assert len(answers) == len(naive)
+    return {"db_facts": len(database), "answers": len(answers)}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e7_enum_partial", smoke))

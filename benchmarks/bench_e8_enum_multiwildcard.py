@@ -63,3 +63,21 @@ def test_e8_multiwildcard_enumeration(benchmark):
 
     database = generate_office_database(400, seed=400)
     benchmark(lambda: list(MultiWildcardEnumerator(omq, database)))
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: multi-wildcard answers against the baseline."""
+    omq = office_omq()
+    database = generate_office_database(40, seed=40)
+    answers = list(MultiWildcardEnumerator(omq, database))
+    naive = naive_minimal_partial_answers_multi(omq, database)
+    assert len(answers) == len(naive)
+    return {"db_facts": len(database), "answers": len(answers)}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e8_enum_multiwildcard", smoke))

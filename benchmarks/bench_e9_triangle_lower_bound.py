@@ -80,3 +80,22 @@ def test_e9_triangle_lower_bound(benchmark):
 
     result = benchmark(detect)
     assert result == has_triangle_naive(edges)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: the reduction on a small triangle-free graph."""
+    omq = triangle_omq()
+    edges = random_graph(10, 20, seed=10, avoid_triangles=True)
+    database = graph_to_database(edges)
+    tester = OMQSingleTester(omq, database)
+    assert has_triangle_naive(edges) is False
+    assert tester.test_minimal_partial((WILDCARD, WILDCARD, WILDCARD))
+    return {"vertices": 10, "graph_facts": len(database)}
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e9_triangle_lower_bound", smoke))

@@ -1,0 +1,13 @@
+"""Benchmark-directory conftest: everything collected here is ``bench``.
+
+The ``bench`` marker keeps the harness out of the default (tier-1) test
+selection; run it explicitly with ``pytest benchmarks -m bench`` or through
+``python benchmarks/run_all.py``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)

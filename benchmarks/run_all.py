@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Run every ``bench_e*.py`` experiment and aggregate the results.
+
+Default (``--smoke``, also used by CI) runs each experiment's tiny-input
+smoke entry in a subprocess and prints one aggregate JSON document to
+stdout; the whole sweep finishes in well under a minute.  ``--full`` instead
+delegates to pytest for the full-size sweeps (several minutes).
+
+Usage::
+
+    python benchmarks/run_all.py            # smoke (default)
+    python benchmarks/run_all.py --full     # pytest -m bench full sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def _bench_scripts() -> list[Path]:
+    def order(path: Path) -> int:
+        # bench_e10 must sort after bench_e9, so order numerically.
+        stem = path.stem.split("_")[1]  # "e10"
+        return int(stem[1:])
+
+    return sorted(BENCH_DIR.glob("bench_e*.py"), key=order)
+
+
+def _subprocess_env() -> dict[str, str]:
+    """Subprocess environment with ``src/`` importable even when uninstalled."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return env
+
+
+def run_smoke() -> int:
+    reports = []
+    failures = 0
+    started = time.perf_counter()
+    for script in _bench_scripts():
+        proc = subprocess.run(
+            [sys.executable, str(script), "--smoke"],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(),
+            cwd=str(REPO_ROOT),
+        )
+        try:
+            report = json.loads(proc.stdout.strip().splitlines()[-1])
+        except (IndexError, json.JSONDecodeError):
+            report = {
+                "bench": script.stem,
+                "mode": "smoke",
+                "ok": False,
+                "error": (proc.stderr or proc.stdout).strip()[-500:] or "no output",
+            }
+        if proc.returncode != 0:
+            report["ok"] = False
+            report.setdefault("error", proc.stderr.strip()[-500:])
+        if not report.get("ok"):
+            failures += 1
+        reports.append(report)
+    aggregate = {
+        "mode": "smoke",
+        "total_seconds": round(time.perf_counter() - started, 3),
+        "benchmarks": len(reports),
+        "failures": failures,
+        "reports": reports,
+    }
+    json.dump(aggregate, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 1 if failures else 0
+
+
+def run_full() -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_DIR),
+        "-m",
+        "bench",
+        "--benchmark-disable",
+        "-s",
+        "-q",
+    ]
+    return subprocess.call(command, env=_subprocess_env(), cwd=str(REPO_ROOT))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny inputs, aggregate JSON to stdout (default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="full-size sweeps through pytest"
+    )
+    args = parser.parse_args()
+    if args.full:
+        return run_full()
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

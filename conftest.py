@@ -1,8 +1,15 @@
-"""Make the in-tree sources importable when the package is not installed."""
+"""Make the in-tree sources importable when the package is not installed.
+
+With ``pip install -e .`` this is a no-op; the fallback keeps ``pytest`` and
+the benchmark scripts working straight from a clean checkout.
+"""
 
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(__file__), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+try:
+    import repro  # noqa: F401
+except ImportError:
+    _SRC = os.path.join(os.path.dirname(__file__), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

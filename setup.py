@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+environments with an old setuptools (no PEP 660 support without ``wheel``)
+can still do an editable install.
+"""
+
+from setuptools import setup
+
+setup()

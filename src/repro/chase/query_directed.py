@@ -14,6 +14,11 @@ The resulting instance is *chase-like* (Lemma C.3): the database part plus
 constant-size trees of nulls grafted onto guarded sets.  The
 :class:`QueryDirectedChase` wrapper exposes that decomposition because the
 enumeration algorithms of Sections 5 and 6 rely on it.
+
+The underlying run delegates to :func:`repro.chase.standard.chase` and is
+therefore semi-naive (delta-driven) over the instance's positional indexes:
+after the first round, trigger candidates are only matched against facts
+added in the previous round.
 """
 
 from __future__ import annotations

@@ -19,13 +19,13 @@ from the query so that the truncation is invisible to query evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Sequence
 
 from repro.data.facts import Fact
 from repro.data.instance import Instance
 from repro.data.terms import Null, NullFactory, is_null
-from repro.cq.atoms import Variable, is_variable
-from repro.cq.homomorphism import all_homomorphisms, find_homomorphism
+from repro.cq.atoms import Variable
+from repro.cq.homomorphism import all_homomorphisms, find_homomorphism, match_atom
 from repro.cq.query import ConjunctiveQuery
 from repro.tgds.ontology import Ontology
 from repro.tgds.tgd import TGD
@@ -101,17 +101,49 @@ class ChaseResult:
 
 
 def _head_satisfied(
-    tgd: TGD, frontier_map: dict[Variable, object], instance: Instance
+    head_query: ConjunctiveQuery,
+    frontier_map: dict[Variable, object],
+    instance: Instance,
 ) -> bool:
-    """True if the head of ``tgd`` is already satisfied at this trigger."""
-    head_query = ConjunctiveQuery(
-        sorted(tgd.frontier_variables(), key=lambda v: v.name), tgd.head
-    )
+    """True if the head of the TGD is already satisfied at this trigger."""
     return find_homomorphism(head_query, instance, partial=frontier_map) is not None
 
 
 def _trigger_key(tgd_index: int, body_map: dict[Variable, object]) -> tuple:
     return (tgd_index, tuple(sorted(body_map.items(), key=lambda kv: kv[0].name)))
+
+
+def _delta_body_maps(
+    tgd: TGD,
+    body_query: ConjunctiveQuery,
+    instance: Instance,
+    delta: Sequence[Fact],
+) -> list[dict[Variable, object]]:
+    """Body homomorphisms of ``tgd`` that use at least one fact of ``delta``.
+
+    The semi-naive evaluation step: any body match that is new since the
+    previous round must send some body atom to a fact added in that round, so
+    it suffices to seed the search with each (atom, delta-fact) pair and let
+    the index-driven homomorphism search complete the rest against the full
+    instance.  The result is materialised (and de-duplicated, since one match
+    can touch the delta through several atoms) so the caller is free to
+    mutate ``instance`` while firing triggers.
+    """
+    maps: list[dict[Variable, object]] = []
+    seen: set[frozenset] = set()
+    for atom in tgd.body:
+        for fact in delta:
+            if fact.relation != atom.relation or fact.arity != atom.arity:
+                continue
+            partial = match_atom(atom, fact, {})
+            if partial is None:
+                continue
+            for body_map in all_homomorphisms(body_query, instance, partial):
+                key = frozenset(body_map.items())
+                if key not in seen:
+                    seen.add(key)
+                    maps.append(body_map)
+    return maps
 
 
 def chase(
@@ -143,22 +175,41 @@ def chase(
         return 0
 
     tgds = list(ontology)
-    changed = True
-    while changed:
-        changed = False
+    body_queries = [
+        ConjunctiveQuery([], tgd.body) if tgd.body else None for tgd in tgds
+    ]
+    head_queries = [
+        ConjunctiveQuery(
+            sorted(tgd.frontier_variables(), key=lambda v: v.name), tgd.head
+        )
+        for tgd in tgds
+    ]
+    frontiers = [tuple(tgd.frontier_variables()) for tgd in tgds]
+    existentials = [tuple(tgd.existential_variables()) for tgd in tgds]
+    # Semi-naive (delta-driven) rounds: the first round matches bodies against
+    # the whole database; every later round only seeds the body search with
+    # facts added in the previous round.  Trigger lists are materialised
+    # before firing, so the positional indexes stay consistent while new
+    # facts are added.
+    delta: list[Fact] | None = None
+    while True:
         result.rounds += 1
         if result.rounds > max_rounds:
             raise ChaseNotTerminating(f"chase exceeded {max_rounds} rounds")
+        new_facts: list[Fact] = []
         for tgd_index, tgd in enumerate(tgds):
-            body_query = ConjunctiveQuery([], tgd.body) if tgd.body else None
+            body_query = body_queries[tgd_index]
             if body_query is None:
-                body_maps: Iterable[dict[Variable, object]] = [{}]
+                # An empty body can only trigger once, in the first round.
+                if delta is not None:
+                    continue
+                body_maps: list[dict[Variable, object]] = [{}]
+            elif delta is None:
+                body_maps = list(all_homomorphisms(body_query, instance))
             else:
-                body_maps = all_homomorphisms(body_query, instance)
+                body_maps = _delta_body_maps(tgd, body_query, instance, delta)
             for body_map in body_maps:
-                frontier_map = {
-                    v: body_map[v] for v in tgd.frontier_variables()
-                }
+                frontier_map = {v: body_map[v] for v in frontiers[tgd_index]}
                 if oblivious:
                     key = _trigger_key(tgd_index, body_map)
                     if key in fired:
@@ -167,30 +218,33 @@ def chase(
                     key = _trigger_key(tgd_index, frontier_map)
                     if key in fired:
                         continue
-                    if _head_satisfied(tgd, frontier_map, instance):
+                    if _head_satisfied(head_queries[tgd_index], frontier_map, instance):
                         continue
                 trigger_depth = max(
                     (depth_of(v) for v in frontier_map.values()), default=0
                 )
-                if max_null_depth is not None and tgd.existential_variables():
+                if max_null_depth is not None and existentials[tgd_index]:
                     if trigger_depth + 1 > max_null_depth:
                         result.truncated = True
                         continue
                 fired.add(key)
                 head_map = dict(frontier_map)
-                for variable in tgd.existential_variables():
+                for variable in existentials[tgd_index]:
                     null = fresh()
                     null_depth[null] = trigger_depth + 1
                     head_map[variable] = null
                 for atom in tgd.head:
                     new_fact = atom.to_fact(head_map)
                     if instance.add(new_fact):
-                        changed = True
+                        new_facts.append(new_fact)
                 result.fired_triggers += 1
                 if len(instance) > max_facts:
                     raise ChaseNotTerminating(
                         f"chase exceeded {max_facts} facts"
                     )
+        if not new_facts:
+            break
+        delta = new_facts
     return result
 
 

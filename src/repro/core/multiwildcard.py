@@ -32,7 +32,6 @@ from repro.core.wildcards import (
     Wildcard,
     ball,
     cone,
-    lt_multi,
     minimal_multi_tuples,
     strictly_less_informative_multi,
 )

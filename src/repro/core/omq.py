@@ -10,7 +10,7 @@ of answers of ``q`` on ``ch^q_O(D)`` that use only database constants
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.data.instance import Database
 from repro.data.schema import Schema

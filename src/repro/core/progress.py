@@ -19,9 +19,9 @@ current one unreachable, so that only minimal partial answers are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations, product
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.data.instance import Database, Instance
 from repro.data.terms import is_null

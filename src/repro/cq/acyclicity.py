@@ -13,7 +13,6 @@ acyclic queries that fail to be free-connex acyclic used by Theorem 4.4.
 
 from __future__ import annotations
 
-from itertools import combinations
 
 from repro.cq.atoms import Atom, Variable
 from repro.cq.hypergraph import atom_hypergraph, is_alpha_acyclic

@@ -6,7 +6,7 @@ value).  An :class:`Atom` is a relation symbol applied to a tuple of terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.data.facts import Fact
@@ -33,18 +33,24 @@ class Atom:
 
     relation: str
     args: tuple
+    _variables: frozenset = field(default=frozenset(), compare=False, repr=False)
 
     def __init__(self, relation: str, args: Iterable) -> None:
         object.__setattr__(self, "relation", relation)
         object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(
+            self,
+            "_variables",
+            frozenset(t for t in self.args if isinstance(t, Variable)),
+        )
 
     @property
     def arity(self) -> int:
         return len(self.args)
 
-    def variables(self) -> set[Variable]:
-        """The set of variables occurring in the atom."""
-        return {t for t in self.args if is_variable(t)}
+    def variables(self) -> frozenset[Variable]:
+        """The set of variables occurring in the atom (precomputed)."""
+        return self._variables
 
     def constants(self) -> set:
         """The set of constants occurring in the atom."""

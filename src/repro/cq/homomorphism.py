@@ -2,16 +2,25 @@
 
 A homomorphism maps the query's variables to domain elements of the instance
 (constants in the query map to themselves) such that every atom becomes a
-fact of the instance.  The functions here implement backtracking search with
-simple index-based candidate selection; they are the reference evaluator the
+fact of the instance.  The functions here implement backtracking search over
+the instance's positional indexes: at every step the *most constrained*
+remaining atom (the one with the smallest candidate bucket under the current
+partial assignment) is matched next, and its candidates are fetched with one
+``(relation, bound-positions)`` index probe instead of scanning and filtering
+whole relation or adjacency buckets.  They are the reference evaluator the
 optimised algorithms are tested against, and the workhorse for the small
 fixed-size subproblems (progress trees, excursions) where data complexity is
 not a concern.
+
+The candidate buckets returned by ``Instance.probe`` are live views; the
+search never mutates the instance, but callers that interleave consumption of
+:func:`all_homomorphisms` with instance mutation must materialise the results
+first (the chase does exactly this).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Collection, Iterator, Mapping
 
 from repro.data.facts import Fact
 from repro.data.instance import Instance
@@ -35,45 +44,32 @@ def is_homomorphism(
     return True
 
 
-def _atom_order(query: ConjunctiveQuery, bound: set[Variable]) -> list[Atom]:
-    """Order atoms so that each one shares as many variables as possible with
-    previously placed atoms (a greedy connectivity order for backtracking)."""
-    remaining = list(query.atoms)
-    order: list[Atom] = []
-    seen_vars = set(bound)
-    while remaining:
-        remaining.sort(
-            key=lambda atom: (-len(atom.variables() & seen_vars), repr(atom))
-        )
-        atom = remaining.pop(0)
-        order.append(atom)
-        seen_vars |= atom.variables()
-    return order
+def _candidate_pool(
+    atom: Atom, assignment: Mapping[Variable, object], instance: Instance
+) -> Collection[Fact]:
+    """The facts that could match ``atom`` under the current ``assignment``.
 
-
-def _candidate_facts(
-    atom: Atom, assignment: dict[Variable, object], instance: Instance
-) -> Iterator[Fact]:
-    """Facts of ``instance`` that could match ``atom`` under ``assignment``."""
-    bound_value = None
-    for term in atom.args:
+    Probes the instance's positional index on every position that is bound —
+    by a constant of the atom or an already-assigned variable — so the pool
+    already agrees with the assignment on all bound positions.  Arity and
+    repeated-variable consistency are checked later by :func:`match_atom`.
+    """
+    positions: list[int] = []
+    key: list[object] = []
+    for position, term in enumerate(atom.args):
         if is_variable(term):
             if term in assignment:
-                bound_value = assignment[term]
-                break
+                positions.append(position)
+                key.append(assignment[term])
         else:
-            bound_value = term
-            break
-    if bound_value is not None:
-        pool = instance.facts_with(bound_value)
-    else:
-        pool = instance.relation(atom.relation)
-    for fact in pool:
-        if fact.relation == atom.relation and fact.arity == atom.arity:
-            yield fact
+            positions.append(position)
+            key.append(term)
+    if positions:
+        return instance.probe(atom.relation, tuple(positions), tuple(key))
+    return instance.relation(atom.relation)
 
 
-def _match_atom(
+def match_atom(
     atom: Atom, fact: Fact, assignment: dict[Variable, object]
 ) -> dict[Variable, object] | None:
     """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``."""
@@ -100,27 +96,43 @@ def all_homomorphisms(
     ``partial`` optionally pre-binds some variables (used for single-testing
     where the answer variables are fixed).  Each yielded dictionary maps all
     of ``var(q)`` to domain elements.
+
+    The backtracking search picks, at every depth, the remaining atom with
+    the fewest index candidates under the current assignment (dynamic
+    most-constrained-atom ordering), which both fails fast on dead branches
+    and keeps the branching factor minimal.
     """
     assignment: dict[Variable, object] = dict(partial or {})
-    order = _atom_order(query, set(assignment))
 
-    def search(index: int) -> Iterator[dict[Variable, object]]:
-        if index == len(order):
+    def search(remaining: list[Atom]) -> Iterator[dict[Variable, object]]:
+        if not remaining:
             yield dict(assignment)
             return
-        atom = order[index]
-        for fact in _candidate_facts(atom, assignment, instance):
-            extension = _match_atom(atom, fact, assignment)
+        best_index = 0
+        best_pool: Collection[Fact] | None = None
+        for i, atom in enumerate(remaining):
+            pool = _candidate_pool(atom, assignment, instance)
+            if best_pool is None or len(pool) < len(best_pool):
+                best_index, best_pool = i, pool
+                if not pool:
+                    return
+        atom = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        assert best_pool is not None
+        for fact in best_pool:
+            if fact.arity != atom.arity:
+                continue
+            extension = match_atom(atom, fact, assignment)
             if extension is None:
                 continue
             assignment.update(extension)
-            yield from search(index + 1)
+            yield from search(rest)
             for variable in extension:
                 del assignment[variable]
 
     # Variables of the query that occur in no atom cannot happen (queries are
     # safe), so the search covers every variable.
-    yield from search(0)
+    yield from search(list(query.atoms))
 
 
 def find_homomorphism(

@@ -5,16 +5,77 @@ the chase); a :class:`Database` is an instance that is promised to be
 null-free.  Both maintain per-relation indexes and per-constant adjacency so
 that the algorithms in the rest of the library get the (amortised) constant
 time lookups the paper's RAM model assumes.
+
+Index API
+---------
+
+Beyond the classic accessors, an instance maintains *positional indexes*:
+
+``index(relation, positions)``
+    A hash map from key tuples ``tuple(fact.args[p] for p in positions)`` to
+    the bucket of facts of ``relation`` with those values at those positions.
+    Indexes are built lazily on first request and from then on maintained
+    *incrementally* by :meth:`Instance.add` / :meth:`Instance.discard`, so a
+    probe is amortised O(1) regardless of how often the instance mutates.
+    Buckets are stored as lists (append is O(1)); callers must treat both the
+    returned mapping and its buckets as read-only.
+
+``probe(relation, positions, key)``
+    The bucket for ``key`` in that index (or an empty tuple), without
+    exposing the mapping itself.
+
+The plain accessors :meth:`facts`, :meth:`relation` and :meth:`facts_with`
+return zero-copy read-only *views* (:class:`FactSetView`) over the internal
+sets instead of fresh copies; they support the full ``collections.abc.Set``
+protocol (``in``, iteration, ``len``, ``==``, ``|``, ``&``, ``<=``, ...) and
+stay in sync with the instance.  Snapshot with ``set(view)`` before mutating
+the instance mid-iteration.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from collections.abc import Set as AbstractSet
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.data.facts import Fact
 from repro.data.schema import Schema
 from repro.data.terms import is_null
+
+_EMPTY: frozenset = frozenset()
+_EMPTY_BUCKET: tuple = ()
+
+
+class FactSetView(AbstractSet):
+    """A zero-copy, read-only set view over one of an instance's fact sets.
+
+    The view resolves its backing set on every operation, so it reflects
+    later mutations of the instance — including buckets that are dropped
+    when they empty and recreated by a later ``add``.  Set operations
+    (``|``, ``&``, ``-``, ``^``) materialise plain ``set`` results, and the
+    view compares equal to any set with the same elements.
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve: Callable[[], AbstractSet]):
+        self._resolve = resolve
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._resolve()
+
+    def __iter__(self) -> Iterator:
+        return iter(self._resolve())
+
+    def __len__(self) -> int:
+        return len(self._resolve())
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable) -> set:
+        return set(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FactSetView({set(self._resolve())!r})"
 
 
 class Instance:
@@ -24,6 +85,10 @@ class Instance:
         self._facts: set[Fact] = set()
         self._by_relation: dict[str, set[Fact]] = defaultdict(set)
         self._by_constant: dict[object, set[Fact]] = defaultdict(set)
+        # Positional indexes, keyed by (relation, positions); built lazily by
+        # index() and maintained incrementally by add()/discard().
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Fact]]] = {}
+        self._indexes_by_relation: dict[str, list[tuple[int, ...]]] = defaultdict(list)
         for fact in facts:
             self.add(fact)
 
@@ -37,6 +102,8 @@ class Instance:
         self._by_relation[fact.relation].add(fact)
         for arg in set(fact.args):
             self._by_constant[arg].add(fact)
+        for positions in self._indexes_by_relation.get(fact.relation, ()):
+            self._index_insert(self._indexes[(fact.relation, positions)], positions, fact)
         return True
 
     def update(self, facts: Iterable[Fact]) -> int:
@@ -52,13 +119,54 @@ class Instance:
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_relation[fact.relation].discard(fact)
+        relation_bucket = self._by_relation[fact.relation]
+        relation_bucket.discard(fact)
+        if not relation_bucket:
+            del self._by_relation[fact.relation]
         for arg in set(fact.args):
             bucket = self._by_constant[arg]
             bucket.discard(fact)
             if not bucket:
                 del self._by_constant[arg]
+        for positions in self._indexes_by_relation.get(fact.relation, ()):
+            self._index_remove(self._indexes[(fact.relation, positions)], positions, fact)
         return True
+
+    @staticmethod
+    def _index_key(positions: tuple[int, ...], fact: Fact) -> tuple | None:
+        """The fact's key in a positional index, or None if its arity is short."""
+        if all(p < fact.arity for p in positions):
+            return tuple(fact.args[p] for p in positions)
+        return None
+
+    @classmethod
+    def _index_insert(
+        cls, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
+    ) -> None:
+        key = cls._index_key(positions, fact)
+        if key is None:
+            return
+        bucket = index.get(key)
+        if bucket is None:
+            index[key] = [fact]
+        else:
+            bucket.append(fact)
+
+    @classmethod
+    def _index_remove(
+        cls, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
+    ) -> None:
+        key = cls._index_key(positions, fact)
+        if key is None:
+            return
+        entries = index.get(key)
+        if entries is not None:
+            try:
+                entries.remove(fact)
+            except ValueError:
+                pass
+            if not entries:
+                del index[key]
 
     def copy(self) -> "Instance":
         return type(self)(self._facts)
@@ -83,21 +191,61 @@ class Instance:
         kind = type(self).__name__
         return f"{kind}({len(self._facts)} facts)"
 
-    def facts(self) -> set[Fact]:
-        """A copy of the fact set."""
-        return set(self._facts)
+    def facts(self) -> FactSetView:
+        """A read-only view of the fact set (zero-copy)."""
+        return FactSetView(lambda: self._facts)
 
-    def relation(self, name: str) -> set[Fact]:
-        """All facts over relation symbol ``name`` (a copy)."""
-        return set(self._by_relation.get(name, ()))
+    def relation(self, name: str) -> FactSetView:
+        """All facts over relation symbol ``name`` (a read-only view)."""
+        return FactSetView(lambda: self._by_relation.get(name, _EMPTY))
+
+    def relation_size(self, name: str) -> int:
+        """How many facts use relation symbol ``name`` (O(1))."""
+        return len(self._by_relation.get(name, _EMPTY))
 
     def relations(self) -> set[str]:
         """The relation symbols that actually occur in the instance."""
         return {name for name, bucket in self._by_relation.items() if bucket}
 
-    def facts_with(self, element: object) -> set[Fact]:
-        """All facts mentioning the domain element ``element``."""
-        return set(self._by_constant.get(element, ()))
+    def facts_with(self, element: object) -> FactSetView:
+        """All facts mentioning the domain element ``element`` (a view)."""
+        return FactSetView(lambda: self._by_constant.get(element, _EMPTY))
+
+    # -- positional indexes ----------------------------------------------
+
+    def index(
+        self, relation: str, positions: Iterable[int]
+    ) -> Mapping[tuple, Sequence[Fact]]:
+        """The positional index of ``relation`` on ``positions``.
+
+        Maps each key tuple ``tuple(fact.args[p] for p in positions)`` to the
+        bucket of matching facts.  Built lazily on first request, then kept
+        up to date incrementally by :meth:`add` / :meth:`discard`.  Facts
+        whose arity does not cover every requested position are omitted (they
+        cannot match an atom that binds those positions).  Treat the mapping
+        and its buckets as read-only.
+        """
+        positions = tuple(positions)
+        key = (relation, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for fact in self._by_relation.get(relation, _EMPTY):
+                self._index_insert(index, positions, fact)
+            self._indexes[key] = index
+            self._indexes_by_relation[relation].append(positions)
+        return index
+
+    def probe(
+        self, relation: str, positions: Iterable[int], key: tuple
+    ) -> Sequence[Fact]:
+        """The facts of ``relation`` whose ``positions`` carry ``key`` values.
+
+        Amortised O(1) plus the size of the returned bucket.  The bucket is
+        live (read-only): snapshot it before mutating the instance while
+        iterating.
+        """
+        return self.index(relation, positions).get(key, _EMPTY_BUCKET)
 
     def adom(self) -> set:
         """The active domain: every constant or null used in some fact."""
@@ -142,7 +290,7 @@ class Instance:
         if not wanted:
             return True
         anchor = next(iter(wanted))
-        return any(wanted <= set(f.args) for f in self._by_constant.get(anchor, ()))
+        return any(wanted <= set(f.args) for f in self._by_constant.get(anchor, _EMPTY))
 
     def gaifman_graph(self) -> dict[object, set]:
         """The Gaifman graph as an adjacency dictionary."""

@@ -14,7 +14,6 @@ from typing import Sequence
 
 from repro.data.instance import Instance
 from repro.data.terms import is_null
-from repro.cq.atoms import Variable
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.yannakakis.decomposition import decompose_free_connex
 from repro.enumeration.reduction import _component_projection

@@ -11,7 +11,7 @@ on the query.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.data.instance import Instance
 from repro.cq.atoms import Atom, Variable

@@ -39,22 +39,28 @@ class TGD:
         object.__setattr__(self, "body", body)
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "label", label)
+        body_vars = frozenset(variables_of(body))
+        head_vars = frozenset(variables_of(head))
+        object.__setattr__(self, "_body_variables", body_vars)
+        object.__setattr__(self, "_head_variables", head_vars)
+        object.__setattr__(self, "_frontier_variables", body_vars & head_vars)
+        object.__setattr__(self, "_existential_variables", head_vars - body_vars)
 
-    # -- variables ---------------------------------------------------------
+    # -- variables (precomputed at construction) ----------------------------
 
-    def body_variables(self) -> set[Variable]:
-        return variables_of(self.body)
+    def body_variables(self) -> frozenset[Variable]:
+        return self._body_variables
 
-    def head_variables(self) -> set[Variable]:
-        return variables_of(self.head)
+    def head_variables(self) -> frozenset[Variable]:
+        return self._head_variables
 
-    def frontier_variables(self) -> set[Variable]:
+    def frontier_variables(self) -> frozenset[Variable]:
         """Variables shared between body and head."""
-        return self.body_variables() & self.head_variables()
+        return self._frontier_variables
 
-    def existential_variables(self) -> set[Variable]:
+    def existential_variables(self) -> frozenset[Variable]:
         """Head variables bound by the existential quantifier."""
-        return self.head_variables() - self.body_variables()
+        return self._existential_variables
 
     def relations(self) -> set[str]:
         return {atom.relation for atom in self.body | self.head}

@@ -4,56 +4,117 @@ An :class:`AtomRelation` stores, for one query atom, the set of variable
 assignments induced by the matching facts of an instance.  Assignments are
 stored as value tuples aligned with a fixed variable order, which makes
 semi-joins and index lookups cheap.
+
+Key-projection hash maps (:meth:`AtomRelation.project`) and row indexes
+(:meth:`AtomRelation.index_on`) are cached per variable tuple and invalidated
+only when the tuple set is replaced through :meth:`AtomRelation.replace_tuples`
+/ :meth:`AtomRelation.clear`, so the full reducer and the enumeration phase
+build each hash map once per edge instead of once per probe.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.data.instance import Instance
 from repro.cq.atoms import Atom, Variable, is_variable
 
 
-@dataclass
 class AtomRelation:
-    """The assignments of one atom's variables over an instance."""
+    """The assignments of one atom's variables over an instance.
 
-    atom: Atom
-    variables: tuple[Variable, ...]
-    tuples: set[tuple] = field(default_factory=set)
+    ``tuples`` exposes the live row set for reading and iteration; mutate it
+    only through :meth:`replace_tuples` / :meth:`clear` so the cached
+    projections and indexes stay consistent.
+    """
+
+    __slots__ = ("atom", "variables", "_tuples", "_var_index", "_projections", "_indexes")
+
+    def __init__(
+        self,
+        atom: Atom,
+        variables: Iterable[Variable],
+        tuples: Iterable[tuple] | None = None,
+    ):
+        self.atom = atom
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        self._tuples: set[tuple] = set(tuples) if tuples is not None else set()
+        self._var_index = {v: i for i, v in enumerate(self.variables)}
+        self._projections: dict[tuple[Variable, ...], set[tuple]] = {}
+        self._indexes: dict[tuple[Variable, ...], dict[tuple, list[tuple]]] = {}
+
+    @property
+    def tuples(self) -> set[tuple]:
+        return self._tuples
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return len(self._tuples)
 
     def __iter__(self) -> Iterator[tuple]:
-        return iter(self.tuples)
+        return iter(self._tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AtomRelation({self.atom!r}, {len(self._tuples)} rows)"
 
     def is_empty(self) -> bool:
-        return not self.tuples
+        return not self._tuples
 
     def copy(self) -> "AtomRelation":
-        return AtomRelation(self.atom, self.variables, set(self.tuples))
+        return AtomRelation(self.atom, self.variables, set(self._tuples))
+
+    # -- mutation (invalidates caches) ------------------------------------
+
+    def replace_tuples(self, tuples: Iterable[tuple]) -> None:
+        """Swap in a new row set, dropping the cached projections/indexes."""
+        self._tuples = set(tuples)
+        self._invalidate()
+
+    def clear(self) -> None:
+        """Remove every row (and the now-stale caches)."""
+        self._tuples.clear()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._projections.clear()
+        self._indexes.clear()
+
+    # -- cached lookups ----------------------------------------------------
 
     def positions(self, variables: Iterable[Variable]) -> tuple[int, ...]:
         """Index positions of ``variables`` within this relation's order."""
-        index = {v: i for i, v in enumerate(self.variables)}
-        return tuple(index[v] for v in variables)
+        return tuple(self._var_index[v] for v in variables)
 
     def project(self, variables: Iterable[Variable]) -> set[tuple]:
-        """The projection of the relation onto ``variables`` (set semantics)."""
+        """The projection of the relation onto ``variables`` (set semantics).
+
+        Built once per variable tuple and cached until the rows change; treat
+        the result as read-only.
+        """
         variables = tuple(variables)
-        positions = self.positions(variables)
-        return {tuple(row[p] for p in positions) for row in self.tuples}
+        cached = self._projections.get(variables)
+        if cached is None:
+            positions = self.positions(variables)
+            cached = {tuple(row[p] for p in positions) for row in self._tuples}
+            self._projections[variables] = cached
+        return cached
 
     def index_on(self, variables: Iterable[Variable]) -> dict[tuple, list[tuple]]:
-        """A hash index grouping rows by their values on ``variables``."""
-        positions = self.positions(tuple(variables))
-        index: dict[tuple, list[tuple]] = defaultdict(list)
-        for row in self.tuples:
-            index[tuple(row[p] for p in positions)].append(row)
-        return dict(index)
+        """A hash index grouping rows by their values on ``variables``.
+
+        Cached per variable tuple until the rows change; treat the result as
+        read-only.
+        """
+        variables = tuple(variables)
+        cached = self._indexes.get(variables)
+        if cached is None:
+            positions = self.positions(variables)
+            index: dict[tuple, list[tuple]] = defaultdict(list)
+            for row in self._tuples:
+                index[tuple(row[p] for p in positions)].append(row)
+            cached = dict(index)
+            self._indexes[variables] = cached
+        return cached
 
     def assignment(self, row: tuple) -> dict[Variable, object]:
         """Turn a stored row back into a variable assignment."""
@@ -64,10 +125,11 @@ def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
     """Materialise the assignments of ``atom`` over ``instance``.
 
     Constants in the atom act as selections and repeated variables as
-    equality filters, exactly as in homomorphism matching.
+    equality filters, exactly as in homomorphism matching.  The matching
+    facts are fetched with one positional-index probe on the atom's constant
+    positions (when it has any) instead of scanning the whole relation.
     """
     variables = tuple(sorted(atom.variables(), key=lambda v: v.name))
-    relation = AtomRelation(atom, variables)
     var_positions: dict[Variable, list[int]] = defaultdict(list)
     constant_positions: list[tuple[int, object]] = []
     for position, term in enumerate(atom.args):
@@ -76,10 +138,16 @@ def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
         else:
             constant_positions.append((position, term))
 
-    for fact in instance.relation(atom.relation):
+    if constant_positions:
+        probe_positions = tuple(p for p, _ in constant_positions)
+        probe_key = tuple(value for _, value in constant_positions)
+        pool = instance.probe(atom.relation, probe_positions, probe_key)
+    else:
+        pool = instance.relation(atom.relation)
+
+    rows: set[tuple] = set()
+    for fact in pool:
         if fact.arity != atom.arity:
-            continue
-        if any(fact.args[p] != value for p, value in constant_positions):
             continue
         row = []
         consistent = True
@@ -91,5 +159,5 @@ def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
                 break
             row.append(value)
         if consistent:
-            relation.tuples.add(tuple(row))
-    return relation
+            rows.add(tuple(row))
+    return AtomRelation(atom, variables, rows)

@@ -25,7 +25,7 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
     shared = tuple(v for v in left.variables if v in right.variables)
     if not shared:
         if right.is_empty() and not left.is_empty():
-            left.tuples.clear()
+            left.clear()
             return True
         return False
     right_keys = right.project(shared)
@@ -34,7 +34,7 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
         row for row in left.tuples if tuple(row[p] for p in positions) in right_keys
     }
     if len(surviving) != len(left.tuples):
-        left.tuples = surviving
+        left.replace_tuples(surviving)
         return True
     return False
 
@@ -65,4 +65,4 @@ def full_reducer(tree: JoinTree, relations: dict[Atom, AtomRelation]) -> None:
     top_down_pass(tree, relations)
     if any(relation.is_empty() for relation in relations.values()):
         for relation in relations.values():
-            relation.tuples.clear()
+            relation.clear()

@@ -6,7 +6,6 @@ from repro import Database, Fact, parse_ontology, parse_query
 from repro.chase import chase, horn_saturation, query_directed_chase
 from repro.chase.standard import ChaseNotTerminating, certain_facts
 from repro.cq.homomorphism import evaluate, find_homomorphism
-from repro.data import Instance
 from repro.data.terms import is_null
 
 

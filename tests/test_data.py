@@ -171,3 +171,129 @@ class TestDatabase:
 
     def test_equality_with_instance(self):
         assert Database([Fact("A", ("a",))]) == Instance([Fact("A", ("a",))])
+
+
+class TestPositionalIndexes:
+    def test_index_groups_by_key(self):
+        instance = Instance(
+            [Fact("R", ("a", "b")), Fact("R", ("a", "c")), Fact("R", ("b", "c"))]
+        )
+        index = instance.index("R", (0,))
+        assert set(index[("a",)]) == {Fact("R", ("a", "b")), Fact("R", ("a", "c"))}
+        assert set(index[("b",)]) == {Fact("R", ("b", "c"))}
+
+    def test_probe_missing_key_is_empty(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        assert len(instance.probe("R", (0,), ("zzz",))) == 0
+        assert len(instance.probe("Missing", (0,), ("a",))) == 0
+
+    def test_index_updated_incrementally_on_add(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        index = instance.index("R", (1,))
+        assert set(index[("b",)]) == {Fact("R", ("a", "b"))}
+        instance.add(Fact("R", ("c", "b")))
+        assert set(instance.probe("R", (1,), ("b",))) == {
+            Fact("R", ("a", "b")),
+            Fact("R", ("c", "b")),
+        }
+
+    def test_index_updated_incrementally_on_discard(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("R", ("c", "b"))])
+        instance.index("R", (1,))
+        instance.discard(Fact("R", ("a", "b")))
+        assert set(instance.probe("R", (1,), ("b",))) == {Fact("R", ("c", "b"))}
+
+    def test_discard_cleans_empty_index_buckets(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        instance.index("R", (0,))
+        instance.discard(Fact("R", ("a", "b")))
+        assert ("a",) not in instance.index("R", (0,))
+        assert instance.relation_size("R") == 0
+        assert "R" not in instance.relations()
+
+    def test_add_discard_interleaving_keeps_indexes_consistent(self):
+        instance = Instance()
+        facts = [Fact("R", (f"x{i % 3}", f"y{i % 5}")) for i in range(15)]
+        instance.index("R", (0,))
+        instance.index("R", (0, 1))
+        for i, fact in enumerate(facts):
+            instance.add(fact)
+            if i % 2:
+                instance.discard(facts[i - 1])
+        for fact in instance.relation("R"):
+            assert fact in instance.probe("R", (0,), (fact.args[0],))
+            assert fact in instance.probe("R", (0, 1), fact.args)
+        # A rebuilt index over the same state must agree with the live one,
+        # bucket contents included (a stale fact left behind by discard in a
+        # still-nonempty bucket must fail here).
+        rebuilt = Instance(instance.facts())
+        for positions in ((0,), (0, 1)):
+            live = {k: set(v) for k, v in instance.index("R", positions).items()}
+            fresh = {k: set(v) for k, v in rebuilt.index("R", positions).items()}
+            assert live == fresh
+
+    def test_index_skips_facts_with_short_arity(self):
+        instance = Instance([Fact("R", ("a",)), Fact("R", ("a", "b"))])
+        index = instance.index("R", (1,))
+        assert set(index[("b",)]) == {Fact("R", ("a", "b"))}
+        instance.add(Fact("R", ("c",)))  # must not break maintenance
+        assert set(instance.probe("R", (1,), ("b",))) == {Fact("R", ("a", "b"))}
+
+    def test_views_are_live_and_readonly(self):
+        instance = Instance([Fact("A", ("a",))])
+        view = instance.relation("A")
+        assert len(view) == 1
+        instance.add(Fact("A", ("b",)))
+        assert len(view) == 2
+        assert not hasattr(view, "add")
+        assert view == {Fact("A", ("a",)), Fact("A", ("b",))}
+        assert (view | {Fact("A", ("c",))}) == {
+            Fact("A", ("a",)),
+            Fact("A", ("b",)),
+            Fact("A", ("c",)),
+        }
+
+
+class TestMutationEdgeCases:
+    def test_discard_cleans_empty_constant_buckets(self):
+        instance = Instance([Fact("R", ("a", "b")), Fact("A", ("a",))])
+        instance.discard(Fact("R", ("a", "b")))
+        assert instance.adom() == {"a"}
+        assert instance.facts_with("b") == set()
+        instance.discard(Fact("A", ("a",)))
+        assert instance.adom() == set()
+        assert instance.facts_with("a") == set()
+
+    def test_discard_then_add_round_trip(self):
+        fact = Fact("R", ("a", "a"))
+        instance = Instance([fact])
+        assert instance.discard(fact)
+        assert instance.add(fact)
+        assert instance.facts_with("a") == {fact}
+        assert instance.relation("R") == {fact}
+
+    def test_database_rejects_null_after_construction(self):
+        database = Database([Fact("A", ("a",))])
+        with pytest.raises(ValueError):
+            database.add(Fact("R", ("a", Null(2))))
+        assert len(database) == 1
+
+    def test_database_update_rejects_nulls_midway(self):
+        database = Database()
+        with pytest.raises(ValueError):
+            database.update([Fact("A", ("a",)), Fact("R", ("a", Null(3)))])
+        # the valid prefix was added before the rejection
+        assert Fact("A", ("a",)) in database
+
+    def test_views_survive_bucket_deletion_and_recreation(self):
+        instance = Instance([Fact("R", ("a", "b"))])
+        view = instance.relation("R")
+        constant_view = instance.facts_with("a")
+        missing_view = instance.relation("S")
+        instance.discard(Fact("R", ("a", "b")))  # empties and drops the buckets
+        assert len(view) == 0 and len(constant_view) == 0
+        instance.add(Fact("R", ("a", "c")))
+        instance.add(Fact("S", ("s",)))
+        assert view == {Fact("R", ("a", "c"))}
+        assert constant_view == {Fact("R", ("a", "c"))}
+        assert missing_view == {Fact("S", ("s",))}

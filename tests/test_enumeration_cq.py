@@ -210,6 +210,7 @@ _QUERIES = [
 ]
 
 
+@pytest.mark.slow
 @settings(max_examples=25, deadline=None)
 @given(st.integers(min_value=0, max_value=100_000))
 def test_cdlin_enumeration_matches_reference_on_random_instances(seed):
@@ -221,6 +222,7 @@ def test_cdlin_enumeration_matches_reference_on_random_instances(seed):
         assert set(enumerate_answers(query, instance)) == evaluate(query, instance)
 
 
+@pytest.mark.slow
 @settings(max_examples=20, deadline=None)
 @given(st.integers(min_value=0, max_value=100_000))
 def test_all_tester_matches_reference_on_random_instances(seed):

@@ -20,7 +20,6 @@ from repro.core import (
 )
 from repro.core.progress import PartialAnswerEnumerator
 from repro.workloads import (
-    generate_office_database,
     generate_university_database,
     office_omq,
     university_omq,
@@ -89,6 +88,7 @@ class TestMinimalPartialAnswerEnumeration:
             complete = naive_certain_answers(office_omq, database)
             assert complete <= partial
 
+    @pytest.mark.slow
     def test_matches_naive_on_random_databases(self, office_omq):
         rng = random.Random(43)
         for _ in range(12):
@@ -188,6 +188,7 @@ class TestMultiWildcardEnumeration:
             largeoffice_omq, largeoffice_database
         )
 
+    @pytest.mark.slow
     def test_matches_naive_on_random_databases(self, office_omq):
         rng = random.Random(53)
         for _ in range(10):

@@ -1,6 +1,6 @@
 """End-to-end integration tests: all evaluation modes agree with each other."""
 
-import random
+import pytest
 
 from repro.baselines import (
     naive_certain_answers,
@@ -22,6 +22,8 @@ from repro.workloads import (
     office_omq,
     university_omq,
 )
+
+pytestmark = pytest.mark.slow
 
 
 def _check_consistency(omq, database):

@@ -12,7 +12,7 @@ from repro.baselines import (
     naive_partial_answers,
 )
 from repro.core import OMQ, WILDCARD, OMQAllTester, OMQSingleTester, Wildcard
-from repro.core.wildcards import collapse_nulls, leq_partial
+from repro.core.wildcards import leq_partial
 from tests.conftest import random_office_database
 
 
