@@ -1,0 +1,188 @@
+"""E11 — Prepared-query engine throughput: repeated and batched workloads.
+
+The engine's whole value proposition is amortization: the preprocessing half
+of CD∘Lin (chase + reduction) runs once per (ontology, database) and once
+per query plan, after which every further execution pays only the
+enumeration phase.  This experiment serves the same query ``N`` times — and
+a mixed batch of distinct queries — through :class:`repro.engine.QueryEngine`
+versus ``N`` fresh :class:`CompleteAnswerEnumerator` constructions, checking
+byte-identical answer sets and reporting the throughput ratio (expected well
+above the 2× acceptance floor; typically one to two orders of magnitude).
+"""
+
+import time
+
+from repro.bench import print_table
+from repro.core import OMQ, CompleteAnswerEnumerator
+from repro.cq.parser import parse_query
+from repro.engine import QueryEngine
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+SIZES = (200, 400, 800, 1600)
+REPEATS = 100
+
+# Distinct projections/joins over the university schema for the batch
+# workload; each is acyclic and free-connex acyclic.
+UNIVERSITY_BATCH_QUERIES = (
+    "q0(s, a, d) :- HasAdvisor(s, a), WorksFor(a, d)",
+    "q1(s, a) :- HasAdvisor(s, a)",
+    "q2(a, d) :- WorksFor(a, d)",
+    "q3(d, o) :- SubOrgOf(d, o)",
+    "q4(f) :- Faculty(f)",
+)
+
+
+def _repeated_workload(omq, database, repeats):
+    """Time ``repeats`` executions: fresh enumerators vs one engine."""
+    started = time.perf_counter()
+    baseline_answers = None
+    for _ in range(repeats):
+        baseline_answers = set(CompleteAnswerEnumerator(omq, database))
+    baseline_seconds = time.perf_counter() - started
+
+    engine = QueryEngine(omq.ontology, database)
+    started = time.perf_counter()
+    engine_answers = None
+    for _ in range(repeats):
+        engine_answers = engine.execute(omq.query)
+    engine_seconds = time.perf_counter() - started
+
+    assert engine_answers == baseline_answers, "engine answers diverge from baseline"
+    return baseline_seconds, engine_seconds, len(baseline_answers)
+
+
+def _batch_workload(database, repeats):
+    """A mixed batch of distinct university queries, engine vs fresh."""
+    omq = university_omq()
+    queries = [parse_query(text) for text in UNIVERSITY_BATCH_QUERIES]
+    batch = [queries[i % len(queries)] for i in range(repeats)]
+
+    started = time.perf_counter()
+    baseline = [
+        set(CompleteAnswerEnumerator(OMQ.from_parts(omq.ontology, query), database))
+        for query in batch
+    ]
+    baseline_seconds = time.perf_counter() - started
+
+    engine = QueryEngine(omq.ontology, database)
+    started = time.perf_counter()
+    answer_sets = engine.execute_batch(batch)
+    engine_seconds = time.perf_counter() - started
+
+    assert answer_sets == baseline, "batched answers diverge from per-query baseline"
+    return baseline_seconds, engine_seconds
+
+
+def _sweep(omq_factory, generator, label, repeats=REPEATS):
+    omq = omq_factory()
+    rows = []
+    worst_speedup = float("inf")
+    for size in SIZES:
+        database = generator(size, seed=size)
+        baseline_seconds, engine_seconds, answers = _repeated_workload(
+            omq, database, repeats
+        )
+        speedup = baseline_seconds / engine_seconds if engine_seconds else float("inf")
+        worst_speedup = min(worst_speedup, speedup)
+        rows.append(
+            (
+                size,
+                len(database),
+                answers,
+                baseline_seconds * 1000,
+                engine_seconds * 1000,
+                repeats / engine_seconds if engine_seconds else float("inf"),
+                speedup,
+            )
+        )
+    print_table(
+        [
+            "size",
+            "db facts",
+            "answers",
+            f"fresh x{repeats} (ms)",
+            f"engine x{repeats} (ms)",
+            "engine q/s",
+            "speedup",
+        ],
+        rows,
+        title=f"E11  Prepared-query engine, {label} workload, {repeats} repeated queries",
+    )
+    return worst_speedup
+
+
+def test_e11_repeated_university(benchmark):
+    worst = _sweep(university_omq, generate_university_database, "university")
+    assert worst >= 2.0, f"engine must be >= 2x fresh enumerators, got {worst:.2f}x"
+
+    omq = university_omq()
+    database = generate_university_database(800, seed=800)
+    engine = QueryEngine(omq.ontology, database)
+    engine.execute(omq.query)
+    benchmark(lambda: engine.execute(omq.query))
+
+
+def test_e11_repeated_office(benchmark):
+    worst = _sweep(office_omq, generate_office_database, "office")
+    assert worst >= 2.0, f"engine must be >= 2x fresh enumerators, got {worst:.2f}x"
+
+    omq = office_omq()
+    database = generate_office_database(800, seed=800)
+    engine = QueryEngine(omq.ontology, database)
+    engine.execute(omq.query)
+    benchmark(lambda: engine.execute(omq.query))
+
+
+def test_e11_batch_university(benchmark):
+    database = generate_university_database(800, seed=800)
+    baseline_seconds, engine_seconds = _batch_workload(database, REPEATS)
+    speedup = baseline_seconds / engine_seconds if engine_seconds else float("inf")
+    print_table(
+        ["repeats", "fresh (ms)", "engine batch (ms)", "speedup"],
+        [(REPEATS, baseline_seconds * 1000, engine_seconds * 1000, speedup)],
+        title="E11  Mixed-query batch, university workload",
+    )
+    assert speedup >= 2.0, f"batch must be >= 2x fresh enumerators, got {speedup:.2f}x"
+
+    omq = university_omq()
+    engine = QueryEngine(omq.ontology, database)
+    queries = [parse_query(text) for text in UNIVERSITY_BATCH_QUERIES]
+    engine.execute_batch(queries)
+    benchmark(lambda: engine.execute_batch(queries))
+
+
+def smoke() -> dict:
+    """Tiny-input smoke run: 100 repeated + 100 batched queries, both ways."""
+    omq = university_omq()
+    database = generate_university_database(120, seed=120)
+    baseline_seconds, engine_seconds, answers = _repeated_workload(omq, database, 100)
+    repeated_speedup = (
+        baseline_seconds / engine_seconds if engine_seconds else float("inf")
+    )
+    assert repeated_speedup >= 2.0, (
+        f"repeated-query speedup {repeated_speedup:.2f}x is below the 2x floor"
+    )
+    batch_baseline, batch_engine = _batch_workload(database, 100)
+    batch_speedup = batch_baseline / batch_engine if batch_engine else float("inf")
+    assert batch_speedup >= 2.0, (
+        f"batch speedup {batch_speedup:.2f}x is below the 2x floor"
+    )
+    return {
+        "university_answers": answers,
+        "db_facts": len(database),
+        "repeated_speedup": round(repeated_speedup, 2),
+        "batch_speedup": round(batch_speedup, 2),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e11_engine_throughput", smoke))

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare a smoke report against the baseline.
+
+CI calls this after ``run_all.py --smoke``::
+
+    python benchmarks/compare.py smoke-report.json benchmarks/baseline.json
+
+For every experiment in the baseline the report must contain a passing entry
+whose median seconds stay within ``tolerance × max(baseline, floor)``.  The
+floor absorbs timer noise on sub-100-millisecond experiments (a 30 ms smoke
+run jumping to 50 ms is scheduling jitter, not a regression); the tolerance
+(default 1.5×, overridable with ``--tolerance`` or the
+``BENCH_BASELINE_TOLERANCE`` environment variable) absorbs hardware
+variation between the machine that recorded the baseline and the CI runner.
+
+Exit status: 0 when every gated experiment is within bounds, 1 on any
+regression, failed experiment, or experiment missing from the report.
+Experiments present in the report but absent from the baseline only warn —
+that is the window for landing a new benchmark before re-recording the
+baseline (``python benchmarks/run_all.py --repeat 5 --out
+benchmarks/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 1.5
+DEFAULT_FLOOR_SECONDS = 0.1
+
+
+def _load_seconds(document: dict) -> dict[str, float | None]:
+    """Map experiment name to median seconds (None when the run failed)."""
+    seconds: dict[str, float | None] = {}
+    for report in document.get("reports", []):
+        name = report.get("bench", "?")
+        seconds[name] = float(report["seconds"]) if report.get("ok") else None
+    return seconds
+
+
+def compare(
+    report: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor: float = DEFAULT_FLOOR_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Return ``(failures, warnings)`` comparing ``report`` to ``baseline``."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    report_seconds = _load_seconds(report)
+    baseline_seconds = _load_seconds(baseline)
+
+    for name, base in sorted(baseline_seconds.items()):
+        if base is None:
+            warnings.append(f"{name}: baseline entry is marked failed; skipping gate")
+            continue
+        current = report_seconds.get(name)
+        if name not in report_seconds:
+            failures.append(f"{name}: missing from the report")
+            continue
+        if current is None:
+            failures.append(f"{name}: experiment failed")
+            continue
+        limit = tolerance * max(base, floor)
+        ratio = current / base if base else float("inf")
+        status = "ok" if current <= limit else "REGRESSION"
+        line = (
+            f"{name}: {current:.3f}s vs baseline {base:.3f}s "
+            f"({ratio:.2f}x, limit {limit:.3f}s) {status}"
+        )
+        print(line)
+        if current > limit:
+            failures.append(line)
+
+    for name in sorted(set(report_seconds) - set(baseline_seconds)):
+        warnings.append(
+            f"{name}: not in baseline (new experiment?); re-record with "
+            "`python benchmarks/run_all.py --repeat 5 --out benchmarks/baseline.json`"
+        )
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="smoke-report JSON from run_all.py --smoke")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_BASELINE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help=f"allowed slowdown factor (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_SECONDS,
+        metavar="SECONDS",
+        help=(
+            "treat baselines below this as this value, absorbing timer noise "
+            f"on tiny experiments (default {DEFAULT_FLOOR_SECONDS})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    failures, warnings = compare(
+        report, baseline, tolerance=args.tolerance, floor=args.floor
+    )
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate: all experiments within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

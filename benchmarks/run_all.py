@@ -3,13 +3,19 @@
 
 Default (``--smoke``, also used by CI) runs each experiment's tiny-input
 smoke entry in a subprocess and prints one aggregate JSON document to
-stdout; the whole sweep finishes in well under a minute.  ``--full`` instead
-delegates to pytest for the full-size sweeps (several minutes).
+stdout; the whole sweep finishes in well under a minute.  ``--repeat N``
+runs each experiment N times and reports the *median* seconds per
+experiment — that is how ``benchmarks/baseline.json`` is produced for the
+CI regression gate (see ``benchmarks/compare.py``).  ``--full`` instead
+delegates to pytest for the full-size sweeps (several minutes) and emits a
+JSON summary to stdout with the pytest output on stderr.
 
 Usage::
 
-    python benchmarks/run_all.py            # smoke (default)
-    python benchmarks/run_all.py --full     # pytest -m bench full sweeps
+    python benchmarks/run_all.py                     # smoke (default)
+    python benchmarks/run_all.py --repeat 5          # smoke medians, 5 runs each
+    python benchmarks/run_all.py --out report.json   # also write the JSON to a file
+    python benchmarks/run_all.py --full              # pytest -m bench full sweeps
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import subprocess
 import sys
 import time
@@ -44,46 +51,74 @@ def _subprocess_env() -> dict[str, str]:
     return env
 
 
-def run_smoke() -> int:
+def _run_one_smoke(script: Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(script), "--smoke"],
+        capture_output=True,
+        text=True,
+        env=_subprocess_env(),
+        cwd=str(REPO_ROOT),
+    )
+    try:
+        report = json.loads(proc.stdout.strip().splitlines()[-1])
+    except (IndexError, json.JSONDecodeError):
+        report = {
+            "bench": script.stem,
+            "mode": "smoke",
+            "ok": False,
+            "error": (proc.stderr or proc.stdout).strip()[-500:] or "no output",
+        }
+    if proc.returncode != 0:
+        report["ok"] = False
+        report.setdefault("error", proc.stderr.strip()[-500:])
+    return report
+
+
+def _emit(aggregate: dict, out: str | None) -> None:
+    text = json.dumps(aggregate, indent=2) + "\n"
+    sys.stdout.write(text)
+    if out:
+        Path(out).write_text(text, encoding="utf-8")
+
+
+def run_smoke(repeat: int, out: str | None) -> int:
     reports = []
     failures = 0
     started = time.perf_counter()
     for script in _bench_scripts():
-        proc = subprocess.run(
-            [sys.executable, str(script), "--smoke"],
-            capture_output=True,
-            text=True,
-            env=_subprocess_env(),
-            cwd=str(REPO_ROOT),
-        )
-        try:
-            report = json.loads(proc.stdout.strip().splitlines()[-1])
-        except (IndexError, json.JSONDecodeError):
-            report = {
-                "bench": script.stem,
-                "mode": "smoke",
-                "ok": False,
-                "error": (proc.stderr or proc.stdout).strip()[-500:] or "no output",
-            }
-        if proc.returncode != 0:
-            report["ok"] = False
-            report.setdefault("error", proc.stderr.strip()[-500:])
-        if not report.get("ok"):
+        samples: list[float] = []
+        report: dict = {}
+        for _ in range(repeat):
+            report = _run_one_smoke(script)
+            if not report.get("ok"):
+                break
+            samples.append(float(report.get("seconds", 0.0)))
+        if report.get("ok") and samples:
+            report["seconds"] = round(statistics.median(samples), 4)
+            if repeat > 1:
+                report["samples"] = [round(s, 4) for s in samples]
+        else:
             failures += 1
         reports.append(report)
     aggregate = {
         "mode": "smoke",
+        "repeat": repeat,
         "total_seconds": round(time.perf_counter() - started, 3),
         "benchmarks": len(reports),
         "failures": failures,
         "reports": reports,
     }
-    json.dump(aggregate, sys.stdout, indent=2)
-    sys.stdout.write("\n")
+    _emit(aggregate, out)
     return 1 if failures else 0
 
 
-def run_full() -> int:
+def run_full(out: str | None) -> int:
+    """Full-size sweeps through pytest, with a JSON summary on stdout.
+
+    The pytest output (benchmark tables included) streams to stderr so that
+    stdout stays a single machine-readable JSON document, mirroring smoke
+    mode; the nightly workflow archives that document as an artifact.
+    """
     command = [
         sys.executable,
         "-m",
@@ -95,7 +130,19 @@ def run_full() -> int:
         "-s",
         "-q",
     ]
-    return subprocess.call(command, env=_subprocess_env(), cwd=str(REPO_ROOT))
+    started = time.perf_counter()
+    returncode = subprocess.call(
+        command, env=_subprocess_env(), cwd=str(REPO_ROOT), stdout=sys.stderr
+    )
+    aggregate = {
+        "mode": "full",
+        "total_seconds": round(time.perf_counter() - started, 3),
+        "benchmarks": len(_bench_scripts()),
+        "returncode": returncode,
+        "ok": returncode == 0,
+    }
+    _emit(aggregate, out)
+    return returncode
 
 
 def main() -> int:
@@ -109,10 +156,24 @@ def main() -> int:
     mode.add_argument(
         "--full", action="store_true", help="full-size sweeps through pytest"
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="smoke mode: run each experiment N times, report median seconds",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the aggregate JSON document to FILE",
+    )
     args = parser.parse_args()
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
     if args.full:
-        return run_full()
-    return run_smoke()
+        return run_full(args.out)
+    return run_smoke(args.repeat, args.out)
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ from repro.data import Database, Fact, Instance, Schema
 from repro.cq import Atom, ConjunctiveQuery, Variable, parse_query
 from repro.tgds import TGD, Ontology, parse_ontology, parse_tgd
 from repro.chase import chase, query_directed_chase
+from repro.engine import PreparedQuery, QueryEngine, prepare_query
 
 __all__ = [
     "Atom",
@@ -18,6 +19,8 @@ __all__ = [
     "Fact",
     "Instance",
     "Ontology",
+    "PreparedQuery",
+    "QueryEngine",
     "Schema",
     "TGD",
     "Variable",
@@ -25,6 +28,7 @@ __all__ = [
     "parse_ontology",
     "parse_query",
     "parse_tgd",
+    "prepare_query",
     "query_directed_chase",
 ]
 

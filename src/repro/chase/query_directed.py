@@ -47,17 +47,39 @@ def default_null_depth(ontology: Ontology, query: ConjunctiveQuery) -> int:
 
 @dataclass
 class QueryDirectedChase:
-    """The query-directed chase together with its decomposition."""
+    """The query-directed chase together with its decomposition.
+
+    ``database_version`` snapshots ``database.version`` at chase time, so
+    callers that cache a chase (notably :class:`repro.engine.QueryEngine`)
+    can detect later database mutations and invalidate.
+    """
 
     database: Database
     ontology: Ontology
     query: ConjunctiveQuery
     result: ChaseResult
     null_depth_bound: int
+    database_version: int = -1
 
     @property
     def instance(self) -> Instance:
         return self.result.instance
+
+    def is_current(self) -> bool:
+        """True while the underlying database has not mutated since the run."""
+        return self.database_version == self.database.version
+
+    def supports(self, query: ConjunctiveQuery, ontology: Ontology | None = None) -> bool:
+        """True if this chase is deep enough to evaluate ``query``.
+
+        A run truncated at depth ``d`` is a superset of every shallower
+        truncation and a subset of the full chase, so complete-answer
+        evaluation of any query whose default depth is at most ``d`` is
+        exact on it (answers are monotone in the instance and agree with
+        certain answers at both ends of the sandwich).
+        """
+        target = ontology if ontology is not None else self.ontology
+        return default_null_depth(target, query) <= self.null_depth_bound
 
     def database_constants(self) -> frozenset:
         return self.result.base_constants
@@ -79,9 +101,33 @@ def query_directed_chase(
     query: ConjunctiveQuery,
     null_depth: int | None = None,
     max_facts: int = 5_000_000,
+    reuse: QueryDirectedChase | None = None,
 ) -> QueryDirectedChase:
-    """Compute ``ch^q_O(D)`` for the given database, ontology and query."""
+    """Compute ``ch^q_O(D)`` for the given database, ontology and query.
+
+    When ``reuse`` holds a previous run over the *same* database and ontology
+    that is still current and at least as deep as ``query`` requires, the
+    chased instance is shared instead of recomputed — this is the
+    preprocessing/enumeration split the engine relies on.  The returned
+    wrapper still carries the new query.
+    """
     depth = null_depth if null_depth is not None else default_null_depth(ontology, query)
+    if (
+        reuse is not None
+        and reuse.database is database
+        and reuse.ontology == ontology
+        and reuse.is_current()
+        and reuse.null_depth_bound >= depth
+    ):
+        return QueryDirectedChase(
+            database=database,
+            ontology=ontology,
+            query=query,
+            result=reuse.result,
+            null_depth_bound=reuse.null_depth_bound,
+            database_version=reuse.database_version,
+        )
+    snapshot = database.version
     result = chase(
         database,
         ontology,
@@ -94,4 +140,5 @@ def query_directed_chase(
         query=query,
         result=result,
         null_depth_bound=depth,
+        database_version=snapshot,
     )

@@ -1,0 +1,227 @@
+"""The ``repro`` command line interface.
+
+Runs prepared-query workloads through :class:`repro.engine.QueryEngine`::
+
+    repro run --workload university --size 400 --repeat 100 --json
+    repro run --workload office --queries q1.cq q2.cq --batch
+    repro workloads
+
+``run`` builds the workload's synthetic database, prepares every query once,
+executes them ``--repeat`` times (sequentially, or as engine batches with
+``--batch``), and reports per-query answer counts, wall-clock timings and the
+engine's cache statistics — as a table, or as one JSON document with
+``--json``.  Query files contain a single Datalog-style query
+(``q(x, y) :- R(x, z), S(z, y)``); without ``--queries`` the workload's
+canonical query is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.data.instance import Database
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery, QueryError
+from repro.core.omq import OMQ
+from repro.engine import QueryEngine
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+WORKLOADS: dict[str, tuple[Callable[[], OMQ], Callable[..., Database], str]] = {
+    "university": (
+        university_omq,
+        generate_university_database,
+        "LUBM-flavoured students/advisors/departments over an ELI ontology",
+    ),
+    "office": (
+        office_omq,
+        generate_office_database,
+        "Example 1.1: researchers, offices and buildings",
+    ),
+}
+
+
+def _load_queries(
+    paths: Sequence[str], inline: Sequence[str], default: ConjunctiveQuery
+) -> list[tuple[str, ConjunctiveQuery]]:
+    queries: list[tuple[str, ConjunctiveQuery]] = []
+    for path in paths:
+        text = Path(path).read_text(encoding="utf-8").strip()
+        queries.append((Path(path).name, parse_query(text)))
+    for index, text in enumerate(inline):
+        queries.append((f"inline{index}", parse_query(text)))
+    if not queries:
+        queries.append((default.name, default))
+    return queries
+
+
+def _run(args: argparse.Namespace) -> int:
+    omq_factory, generator, _ = WORKLOADS[args.workload]
+    omq = omq_factory()
+    database = generator(args.size, seed=args.seed)
+    try:
+        queries = _load_queries(args.queries, args.inline, omq.query)
+    except (OSError, QueryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    engine = QueryEngine(omq.ontology, database, strict=not args.no_strict)
+    prep_started = time.perf_counter()
+    try:
+        engine.warm([query for _, query in queries])
+    except QueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prep_seconds = time.perf_counter() - prep_started
+
+    results = []
+    exec_started = time.perf_counter()
+    if args.batch:
+        batch = [query for _, query in queries] * args.repeat
+        answer_sets = engine.execute_batch(batch, max_workers=args.workers)
+        per_query = answer_sets[: len(queries)]
+    else:
+        per_query = []
+        for _, query in queries:
+            answers: set[tuple] = set()
+            for _ in range(args.repeat):
+                answers = engine.execute(query)
+            per_query.append(answers)
+    exec_seconds = time.perf_counter() - exec_started
+
+    executed = len(queries) * args.repeat
+    for (label, query), answers in zip(queries, per_query):
+        sample = sorted(answers)[: args.show] if args.show > 0 else []
+        results.append(
+            {
+                "query": label,
+                "arity": query.arity,
+                "answers": len(answers),
+                "sample": [list(a) for a in sample],
+            }
+        )
+
+    stats = engine.stats
+    report = {
+        "workload": args.workload,
+        "size": args.size,
+        "seed": args.seed,
+        "db_facts": len(database),
+        "queries": len(queries),
+        "repeat": args.repeat,
+        "mode": "batch" if args.batch else "sequential",
+        "executed": executed,
+        "preprocess_seconds": round(prep_seconds, 6),
+        "execute_seconds": round(exec_seconds, 6),
+        "throughput_qps": round(executed / exec_seconds, 1) if exec_seconds else None,
+        "results": results,
+        "engine": {
+            "plans_cached": stats.plans_cached,
+            "plan_hits": stats.plan_hits,
+            "plan_misses": stats.plan_misses,
+            "chase_builds": stats.chase_builds,
+            "state_builds": stats.state_builds,
+            "invalidations": stats.invalidations,
+        },
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+
+    print(f"workload {args.workload}: {len(database)} facts (size={args.size}, seed={args.seed})")
+    print(
+        f"prepared {len(queries)} queries in {prep_seconds * 1000:.1f} ms; "
+        f"executed {executed} in {exec_seconds * 1000:.1f} ms "
+        f"({report['throughput_qps']} q/s, {report['mode']})"
+    )
+    for entry in results:
+        print(f"  {entry['query']}/{entry['arity']}: {entry['answers']} answers")
+        for sample in entry["sample"]:
+            print(f"    {tuple(sample)}")
+    print(
+        f"engine: {stats.plans_cached} plans cached "
+        f"({stats.plan_hits} hits / {stats.plan_misses} misses), "
+        f"{stats.chase_builds} chase builds, {stats.state_builds} state builds"
+    )
+    return 0
+
+
+def _workloads(args: argparse.Namespace) -> int:
+    del args
+    for name, (_, _, description) in sorted(WORKLOADS.items()):
+        print(f"{name:12s} {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prepared-query engine CLI for the PODS'22 reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run queries through the QueryEngine")
+    run.add_argument("--workload", choices=sorted(WORKLOADS), default="university")
+    run.add_argument("--size", type=int, default=300, help="database scale factor")
+    run.add_argument("--seed", type=int, default=0, help="generator seed")
+    run.add_argument(
+        "--queries",
+        nargs="*",
+        default=[],
+        metavar="FILE.cq",
+        help="files each holding one Datalog-style query",
+    )
+    run.add_argument(
+        "--inline",
+        nargs="*",
+        default=[],
+        metavar="QUERY",
+        help="queries given directly on the command line",
+    )
+    run.add_argument("--repeat", type=int, default=1, help="executions per query")
+    run.add_argument(
+        "--batch",
+        action="store_true",
+        help="evaluate through engine.execute_batch instead of per-query calls",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="thread-pool size for --batch (default: auto)",
+    )
+    run.add_argument("--show", type=int, default=0, help="sample answers to print")
+    run.add_argument("--json", action="store_true", help="emit one JSON report")
+    run.add_argument(
+        "--no-strict",
+        action="store_true",
+        help=(
+            "allow queries outside the acyclic/free-connex class "
+            "(served via materialized certain answers, not constant delay)"
+        ),
+    )
+    run.set_defaults(func=_run)
+
+    workloads = subparsers.add_parser("workloads", help="list built-in workloads")
+    workloads.set_defaults(func=_workloads)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

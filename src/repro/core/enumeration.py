@@ -5,6 +5,11 @@ full query of :mod:`repro.enumeration.reduction` (both linear in the data);
 the enumeration phase is the constant-delay walk of
 :class:`repro.enumeration.cdlin.CDLinEnumerator`, restricted to answers over
 database constants.
+
+The two phases are separable: callers that amortize preprocessing across
+many evaluations (notably :class:`repro.engine.QueryEngine`) pass a shared
+``chase`` and a precomputed free-connex ``decomposition`` instead of letting
+the constructor recompute them per call.
 """
 
 from __future__ import annotations
@@ -12,15 +17,30 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.data.instance import Database
+from repro.chase.query_directed import QueryDirectedChase
 from repro.cq.query import QueryError
 from repro.core.omq import OMQ
 from repro.enumeration.cdlin import CDLinEnumerator
+from repro.yannakakis.decomposition import FreeConnexDecomposition
 
 
 class CompleteAnswerEnumerator:
-    """Two-phase enumerator for the complete answers of an OMQ."""
+    """Two-phase enumerator for the complete answers of an OMQ.
 
-    def __init__(self, omq: OMQ, database: Database, strict: bool = True) -> None:
+    ``chase`` may carry a current, sufficiently deep query-directed chase of
+    the same database (it is reused instead of recomputed), and
+    ``decomposition`` the free-connex decomposition of the head-deduplicated
+    query; both are what a prepared query caches.
+    """
+
+    def __init__(
+        self,
+        omq: OMQ,
+        database: Database,
+        strict: bool = True,
+        chase: QueryDirectedChase | None = None,
+        decomposition: FreeConnexDecomposition | None = None,
+    ) -> None:
         if strict and not (omq.is_acyclic() and omq.is_free_connex_acyclic()):
             raise QueryError(
                 f"{omq.name} is not acyclic and free-connex acyclic: CD∘Lin "
@@ -28,9 +48,12 @@ class CompleteAnswerEnumerator:
             )
         self.omq = omq
         self.database = database
-        self.chase = omq.chase(database)
+        self.chase = omq.chase(database, reuse=chase)
         self._enumerator = CDLinEnumerator(
-            omq.query, self.chase.instance, keep_nulls=False
+            omq.query,
+            self.chase.instance,
+            keep_nulls=False,
+            decomposition=decomposition,
         )
 
     def is_empty(self) -> bool:

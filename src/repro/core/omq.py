@@ -79,10 +79,19 @@ class OMQ:
 
     # -- evaluation ---------------------------------------------------------
 
-    def chase(self, database: Database, null_depth: int | None = None) -> QueryDirectedChase:
-        """The query-directed chase ``ch^q_O(D)``."""
+    def chase(
+        self,
+        database: Database,
+        null_depth: int | None = None,
+        reuse: QueryDirectedChase | None = None,
+    ) -> QueryDirectedChase:
+        """The query-directed chase ``ch^q_O(D)``.
+
+        ``reuse`` may hold a current, at-least-as-deep chase of the same
+        database and ontology to share instead of recomputing.
+        """
         return query_directed_chase(
-            database, self.ontology, self.query, null_depth=null_depth
+            database, self.ontology, self.query, null_depth=null_depth, reuse=reuse
         )
 
     def certain_answers(self, database: Database) -> set[tuple]:

@@ -23,6 +23,7 @@ from typing import Sequence
 
 from repro.data.facts import Fact
 from repro.data.instance import Database, Instance
+from repro.chase.query_directed import QueryDirectedChase
 from repro.cq.acyclicity import is_acyclic
 from repro.cq.atoms import Atom, Variable
 from repro.cq.homomorphism import find_homomorphism
@@ -44,10 +45,15 @@ class OMQSingleTester:
     only involve the fixed query).
     """
 
-    def __init__(self, omq: OMQ, database: Database) -> None:
+    def __init__(
+        self,
+        omq: OMQ,
+        database: Database,
+        chase: "QueryDirectedChase | None" = None,
+    ) -> None:
         self.omq = omq
         self.database = database
-        self.chase = omq.chase(database)
+        self.chase = omq.chase(database, reuse=chase)
         self.database_constants = frozenset(database.adom())
         # The chase instance extended with P_db facts marking adom(D); used
         # by the minimality tests exactly as in the proof of Theorem 3.1.
@@ -219,7 +225,12 @@ class OMQAllTester:
     independent of the data.
     """
 
-    def __init__(self, omq: OMQ, database: Database) -> None:
+    def __init__(
+        self,
+        omq: OMQ,
+        database: Database,
+        chase: "QueryDirectedChase | None" = None,
+    ) -> None:
         if not omq.is_free_connex_acyclic():
             raise QueryError(
                 f"{omq.name} is not free-connex acyclic: all-testing in "
@@ -227,7 +238,7 @@ class OMQAllTester:
             )
         self.omq = omq
         self.database_constants = frozenset(database.adom())
-        self.chase = omq.chase(database)
+        self.chase = omq.chase(database, reuse=chase)
         self._tester = FreeConnexAllTester(omq.query, self.chase.instance)
 
     def test(self, candidate: Sequence) -> bool:

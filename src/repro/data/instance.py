@@ -30,6 +30,13 @@ sets instead of fresh copies; they support the full ``collections.abc.Set``
 protocol (``in``, iteration, ``len``, ``==``, ``|``, ``&``, ``<=``, ...) and
 stay in sync with the instance.  Snapshot with ``set(view)`` before mutating
 the instance mid-iteration.
+
+``version``
+    A monotonically increasing mutation counter, bumped by every effective
+    :meth:`Instance.add` / :meth:`Instance.discard` alongside the incremental
+    index maintenance.  Derived structures (the prepared-query engine's
+    materializations, external caches) snapshot it and compare later to
+    detect that their inputs changed, instead of subscribing to callbacks.
 """
 
 from __future__ import annotations
@@ -89,8 +96,14 @@ class Instance:
         # index() and maintained incrementally by add()/discard().
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Fact]]] = {}
         self._indexes_by_relation: dict[str, list[tuple[int, ...]]] = defaultdict(list)
+        self._version = 0
         for fact in facts:
             self.add(fact)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increases on every effective add/discard."""
+        return self._version
 
     # -- construction ----------------------------------------------------
 
@@ -104,6 +117,7 @@ class Instance:
             self._by_constant[arg].add(fact)
         for positions in self._indexes_by_relation.get(fact.relation, ()):
             self._index_insert(self._indexes[(fact.relation, positions)], positions, fact)
+        self._version += 1
         return True
 
     def update(self, facts: Iterable[Fact]) -> int:
@@ -130,6 +144,7 @@ class Instance:
                 del self._by_constant[arg]
         for positions in self._indexes_by_relation.get(fact.relation, ()):
             self._index_remove(self._indexes[(fact.relation, positions)], positions, fact)
+        self._version += 1
         return True
 
     @staticmethod

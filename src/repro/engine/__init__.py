@@ -1,0 +1,41 @@
+"""Prepared-query engine: plan caching, shared materialization, batching.
+
+The serving layer over the paper's preprocessing/enumeration split — compile
+an OMQ once (:func:`prepare_query`), materialize per-database state once,
+then answer repeated and batched queries at enumeration cost only.
+"""
+
+from repro.engine.cache import LRUCache
+from repro.engine.engine import AnswerCursor, EngineStats, QueryEngine
+from repro.engine.fingerprint import (
+    canonical_atom,
+    canonical_ontology,
+    canonical_query,
+    canonical_tgd,
+    ontology_fingerprint,
+    query_fingerprint,
+)
+from repro.engine.materialization import (
+    Materialization,
+    MaterializedAnswers,
+    QueryState,
+)
+from repro.engine.plan import PreparedQuery, prepare_query
+
+__all__ = [
+    "AnswerCursor",
+    "EngineStats",
+    "LRUCache",
+    "Materialization",
+    "MaterializedAnswers",
+    "PreparedQuery",
+    "QueryEngine",
+    "QueryState",
+    "canonical_atom",
+    "canonical_ontology",
+    "canonical_query",
+    "canonical_tgd",
+    "ontology_fingerprint",
+    "prepare_query",
+    "query_fingerprint",
+]

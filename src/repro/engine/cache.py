@@ -1,0 +1,62 @@
+"""A small LRU cache with hit/miss accounting for prepared-query plans."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, TypeVar
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``get`` refreshes recency; inserting beyond ``capacity`` evicts the
+    least recently used entry.  ``hits`` / ``misses`` / ``evictions`` feed
+    the engine's statistics.  Not thread-safe on its own; the engine guards
+    it with its lock.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def values(self) -> list[V]:
+        """The cached values, least recently used first (no recency effect)."""
+        return list(self._entries.values())
+
+    def get(self, key: Hashable) -> V | None:
+        """The cached value for ``key`` (refreshing recency), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

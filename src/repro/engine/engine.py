@@ -1,0 +1,304 @@
+"""The prepared-query engine: plan caching, shared materialization, batching.
+
+``QueryEngine`` is the serving-layer façade over the paper's
+preprocessing/enumeration split.  It is bound to one ontology and amortizes
+both halves of the pipeline:
+
+* the *data-independent* half (normalization, acyclicity verdicts, join
+  tree, free-connex decomposition, chase program) is compiled once per query
+  into a :class:`~repro.engine.plan.PreparedQuery` and kept in an LRU plan
+  cache keyed by ``(ontology, query)`` fingerprints;
+* the *data-dependent* half (query-directed chase, reduced block relations)
+  lives in one :class:`~repro.engine.materialization.Materialization` per
+  database, shared by every prepared query and invalidated automatically
+  when the database mutates.
+
+Entry points::
+
+    engine = QueryEngine(ontology, database)
+    engine.execute(query)                  # -> set of answer tuples
+    engine.execute_batch([q1, q2, ...])    # -> list of answer sets
+    with engine.open(query) as cursor:     # restartable constant-delay iterator
+        for answer in cursor: ...
+
+All preprocessing runs under the engine lock; the enumeration phase is
+read-only and runs outside it, which is what makes ``execute_batch``'s
+thread pool safe.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.data.instance import Database
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery, QueryError
+from repro.core.omq import OMQ
+from repro.engine.cache import LRUCache
+from repro.engine.fingerprint import ontology_fingerprint, query_fingerprint
+from repro.engine.materialization import Materialization, QueryState
+from repro.engine.plan import PreparedQuery, prepare_query
+from repro.tgds.ontology import Ontology
+
+QueryLike = "str | ConjunctiveQuery | OMQ | PreparedQuery"
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time snapshot of the engine's counters."""
+
+    plans_cached: int
+    plan_hits: int
+    plan_misses: int
+    plan_evictions: int
+    chase_builds: int
+    state_builds: int
+    invalidations: int
+    executions: int
+    cursors_opened: int
+
+
+class AnswerCursor:
+    """A restartable constant-delay iterator over one query's answers.
+
+    The cursor holds the prepared plan and the engine reference;
+    :meth:`restart` re-acquires the (cached) materialized state, so a
+    restart after a database mutation transparently re-preprocesses while a
+    restart on unchanged data costs only the state lookup.
+    """
+
+    def __init__(self, engine: "QueryEngine", prepared: PreparedQuery, database: Database):
+        self._engine = engine
+        self._prepared = prepared
+        self._database = database
+        self._iterator: Iterator[tuple] | None = None
+        self._closed = False
+        self.restart()
+
+    @property
+    def prepared(self) -> PreparedQuery:
+        return self._prepared
+
+    def restart(self) -> "AnswerCursor":
+        """Rewind to the first answer (revalidating the materialization)."""
+        if self._closed:
+            raise RuntimeError("cannot restart a closed cursor")
+        state = self._engine._materialized_state(self._prepared, self._database)
+        self._iterator = state.enumerator.enumerate()
+        return self
+
+    def __iter__(self) -> "AnswerCursor":
+        return self
+
+    def __next__(self) -> tuple:
+        if self._closed or self._iterator is None:
+            raise StopIteration
+        return next(self._iterator)
+
+    def fetchmany(self, size: int) -> list[tuple]:
+        """Up to ``size`` further answers (constant delay per answer)."""
+        batch: list[tuple] = []
+        for answer in self:
+            batch.append(answer)
+            if len(batch) >= size:
+                break
+        return batch
+
+    def fetchall(self) -> list[tuple]:
+        """Every remaining answer."""
+        return list(self)
+
+    def close(self) -> None:
+        self._closed = True
+        self._iterator = None
+
+    def __enter__(self) -> "AnswerCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class QueryEngine:
+    """Prepared-query execution over one ontology and its databases."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        database: Database | None = None,
+        *,
+        plan_cache_size: int = 64,
+        materialization_cache_size: int = 8,
+        strict: bool = True,
+    ) -> None:
+        self.ontology = ontology
+        self.ontology_fingerprint = ontology_fingerprint(ontology)
+        self.strict = strict
+        self._default_database = database
+        self._plans: LRUCache[PreparedQuery] = LRUCache(plan_cache_size)
+        # Bounded LRU over databases: evicting a live database only costs a
+        # rebuild on its next use, so the engine never pins state (or the
+        # databases themselves) without limit.
+        self._materializations: LRUCache[Materialization] = LRUCache(
+            materialization_cache_size
+        )
+        self._plan_cache_size = plan_cache_size
+        self._lock = threading.RLock()
+        self._executions = 0
+        self._cursors_opened = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngine({self.ontology.name}, {len(self._plans)} cached plans, "
+            f"{len(self._materializations)} materializations)"
+        )
+
+    # -- plan compilation --------------------------------------------------
+
+    def _coerce_query(self, query: QueryLike) -> ConjunctiveQuery:
+        if isinstance(query, PreparedQuery):
+            query = query.omq
+        if isinstance(query, OMQ):
+            if ontology_fingerprint(query.ontology) != self.ontology_fingerprint:
+                raise QueryError(
+                    "OMQ ontology differs from the engine's ontology; "
+                    "use a separate engine per ontology"
+                )
+            return query.query
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        raise TypeError(f"cannot interpret {type(query).__name__} as a query")
+
+    def prepare(self, query: QueryLike, name: str | None = None) -> PreparedQuery:
+        """Compile (or fetch from the plan cache) the plan for ``query``."""
+        cq = self._coerce_query(query)
+        key = (self.ontology_fingerprint, query_fingerprint(cq))
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = prepare_query(
+                    self.ontology,
+                    cq,
+                    strict=self.strict,
+                    name=name or cq.name,
+                )
+                self._plans.put(key, plan)
+            return plan
+
+    # -- materialization ---------------------------------------------------
+
+    def _resolve_database(self, database: Database | None) -> Database:
+        resolved = database if database is not None else self._default_database
+        if resolved is None:
+            raise ValueError(
+                "no database: pass one to the call or to the engine constructor"
+            )
+        return resolved
+
+    def _materialization(self, database: Database) -> Materialization:
+        # Keyed by id(): safe because each entry holds a strong reference to
+        # its database, so a live entry's id cannot be reused; the identity
+        # check below covers id reuse after an eviction.
+        materialization = self._materializations.get(id(database))
+        if materialization is None or materialization.database is not database:
+            materialization = Materialization(
+                self.ontology, database, state_cache_size=self._plan_cache_size
+            )
+            self._materializations.put(id(database), materialization)
+        return materialization
+
+    def _materialized_state(
+        self, prepared: PreparedQuery, database: Database
+    ) -> QueryState:
+        with self._lock:
+            return self._materialization(database).state_for(prepared)
+
+    def warm(self, queries: Iterable[QueryLike], database: Database | None = None) -> None:
+        """Preprocess ``queries`` eagerly (plans + materialized states)."""
+        resolved = self._resolve_database(database)
+        for query in queries:
+            self._materialized_state(self.prepare(query), resolved)
+
+    def invalidate(self, database: Database | None = None) -> None:
+        """Drop materialized state (for one database, or all of them)."""
+        with self._lock:
+            if database is None:
+                for materialization in self._materializations.values():
+                    materialization.invalidate()
+            else:
+                materialization = self._materializations.get(id(database))
+                if materialization is not None and materialization.database is database:
+                    materialization.invalidate()
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, query: QueryLike, database: Database | None = None) -> set[tuple]:
+        """All complete answers of ``query`` on the database, as a set."""
+        prepared = self.prepare(query)
+        resolved = self._resolve_database(database)
+        state = self._materialized_state(prepared, resolved)
+        with self._lock:
+            self._executions += 1
+        return state.answers()
+
+    def execute_batch(
+        self,
+        queries: Sequence[QueryLike],
+        database: Database | None = None,
+        max_workers: int | None = None,
+    ) -> list[set[tuple]]:
+        """Evaluate many queries, amortizing preprocessing across the batch.
+
+        Plans and materialized states are built sequentially under the
+        engine lock (they mutate shared structures); the enumeration phase
+        — read-only by construction — then fans out over a thread pool.
+        ``max_workers=0`` or ``1`` forces the sequential worker loop.
+        """
+        resolved = self._resolve_database(database)
+        states = [
+            self._materialized_state(self.prepare(query), resolved)
+            for query in queries
+        ]
+        with self._lock:
+            self._executions += len(states)
+        if not states:
+            return []
+        if max_workers is None:
+            max_workers = min(len(states), os.cpu_count() or 1, 8)
+        if max_workers <= 1:
+            return [state.answers() for state in states]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(QueryState.answers, states))
+
+    def open(self, query: QueryLike, database: Database | None = None) -> AnswerCursor:
+        """A restartable constant-delay cursor over the query's answers."""
+        prepared = self.prepare(query)
+        resolved = self._resolve_database(database)
+        with self._lock:
+            self._cursors_opened += 1
+        return AnswerCursor(self, prepared, resolved)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregate counters across the plan cache and materializations."""
+        with self._lock:
+            materializations = list(self._materializations.values())
+            return EngineStats(
+                plans_cached=len(self._plans),
+                plan_hits=self._plans.hits,
+                plan_misses=self._plans.misses,
+                plan_evictions=self._plans.evictions,
+                chase_builds=sum(m.chase_builds for m in materializations),
+                state_builds=sum(m.state_builds for m in materializations),
+                invalidations=sum(m.invalidations for m in materializations),
+                executions=self._executions,
+                cursors_opened=self._cursors_opened,
+            )

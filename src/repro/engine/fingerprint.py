@@ -1,0 +1,63 @@
+"""Stable fingerprints for ontologies and queries.
+
+The plan cache of :class:`repro.engine.QueryEngine` is keyed by
+``(ontology fingerprint, query fingerprint)``: two syntactically identical
+objects — even if parsed from text twice, or constructed with atoms in a
+different order — must map to the same key.  Fingerprints are SHA-256
+digests of a canonical text serialization: atoms render variables as
+``?name`` and constants via ``repr``, atom sets are sorted, and TGDs render
+body and head the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cq.atoms import Atom, is_variable
+from repro.cq.query import ConjunctiveQuery
+from repro.tgds.ontology import Ontology
+from repro.tgds.tgd import TGD
+
+
+def _canonical_term(term: object) -> str:
+    if is_variable(term):
+        return f"?{term.name}"
+    return f"{type(term).__name__}:{term!r}"
+
+
+def canonical_atom(atom: Atom) -> str:
+    """A canonical text rendering of one atom."""
+    return f"{atom.relation}({','.join(_canonical_term(t) for t in atom.args)})"
+
+
+def canonical_query(query: ConjunctiveQuery) -> str:
+    """A canonical text rendering of a CQ (independent of atom order)."""
+    head = ",".join(_canonical_term(v) for v in query.answer_variables)
+    body = ";".join(sorted(canonical_atom(atom) for atom in query.atoms))
+    return f"q({head}):-{body}"
+
+
+def canonical_tgd(tgd: TGD) -> str:
+    """A canonical text rendering of one TGD."""
+    body = ";".join(sorted(canonical_atom(atom) for atom in tgd.body))
+    head = ";".join(sorted(canonical_atom(atom) for atom in tgd.head))
+    return f"{body}->{head}"
+
+
+def canonical_ontology(ontology: Ontology) -> str:
+    """A canonical text rendering of an ontology (independent of TGD order)."""
+    return "&".join(sorted(canonical_tgd(tgd) for tgd in ontology))
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def query_fingerprint(query: ConjunctiveQuery) -> str:
+    """A stable fingerprint of the query's structure (name excluded)."""
+    return _digest(canonical_query(query))
+
+
+def ontology_fingerprint(ontology: Ontology) -> str:
+    """A stable fingerprint of the ontology's TGD set (name excluded)."""
+    return _digest(canonical_ontology(ontology))

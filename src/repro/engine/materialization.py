@@ -1,0 +1,162 @@
+"""Per-database materialization state shared across prepared queries.
+
+A :class:`Materialization` owns every piece of data-dependent derived state
+for one ``(ontology, database)`` pair:
+
+* the *shared* query-directed chase — built once at the deepest truncation
+  any prepared query has requested so far, and reused by all of them (a
+  deeper truncation is sandwiched between the required one and the full
+  chase, so complete-answer evaluation is unchanged), and
+* one :class:`QueryState` per prepared query: the reduced block relations
+  and per-block indexes of the CD∘Lin enumerator, ready for constant-delay
+  enumeration.
+
+Invalidation hooks into the mutation counter maintained by the positional
+index machinery of :class:`repro.data.Instance`: every effective
+``add``/``discard`` bumps ``Database.version``, and the materialization
+compares that counter against the snapshot taken at chase time before every
+use, dropping the chase and all query states when the database has moved on.
+
+Not thread-safe on its own: :class:`repro.engine.QueryEngine` serializes all
+calls through its lock and only the read-only enumeration phase runs outside
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.data.instance import Database
+from repro.data.terms import is_null
+from repro.chase.query_directed import QueryDirectedChase, query_directed_chase
+from repro.cq.homomorphism import evaluate
+from repro.enumeration.cdlin import CDLinEnumerator
+from repro.engine.cache import LRUCache
+from repro.engine.plan import PreparedQuery
+from repro.tgds.ontology import Ontology
+
+
+class MaterializedAnswers:
+    """A pre-materialised answer set behind the enumerator protocol.
+
+    Fallback for non-strict plans outside the acyclic ∧ free-connex class:
+    no constant-delay guarantee, but cursors and batches work uniformly.
+    """
+
+    __slots__ = ("_answers",)
+
+    def __init__(self, answers: set[tuple]) -> None:
+        self._answers = frozenset(answers)
+
+    def is_empty(self) -> bool:
+        return not self._answers
+
+    def enumerate(self) -> Iterator[tuple]:
+        return iter(self._answers)
+
+
+@dataclass(eq=False)
+class QueryState:
+    """The data-dependent state of one prepared query over one database."""
+
+    prepared: PreparedQuery
+    chase: QueryDirectedChase
+    enumerator: CDLinEnumerator | MaterializedAnswers
+
+    def answers(self) -> set[tuple]:
+        """Materialise the complete answer set (enumeration, no side effects)."""
+        return set(self.enumerator.enumerate())
+
+
+class Materialization:
+    """Shared chase plus per-query reduced state for one database.
+
+    ``state_cache_size`` bounds the per-query states (an LRU mirroring the
+    engine's plan cache) so a long-lived engine serving many distinct
+    queries does not accumulate reduced relations without limit.
+    """
+
+    def __init__(
+        self, ontology: Ontology, database: Database, state_cache_size: int = 64
+    ) -> None:
+        self.ontology = ontology
+        self.database = database
+        self.chase: QueryDirectedChase | None = None
+        self._states: LRUCache[QueryState] = LRUCache(state_cache_size)
+        self.chase_builds = 0
+        self.state_builds = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Materialization({len(self.database)} db facts, "
+            f"{len(self._states)} query states, chased={self.chase is not None})"
+        )
+
+    @staticmethod
+    def _fallback_answers(prepared: PreparedQuery, chase: QueryDirectedChase) -> set[tuple]:
+        """Certain answers by generic homomorphism search (Lemma 3.2).
+
+        Used for non-strict plans outside the CD∘Lin class: evaluate the
+        query over the chase and keep the null-free tuples.
+        """
+        return {
+            answer
+            for answer in evaluate(prepared.omq.query, chase.instance)
+            if not any(is_null(value) for value in answer)
+        }
+
+    def revalidate(self) -> None:
+        """Drop all derived state if the database mutated since the chase."""
+        if self.chase is not None and not self.chase.is_current():
+            self.chase = None
+            self._states.clear()
+            self.invalidations += 1
+
+    def invalidate(self) -> None:
+        """Unconditionally drop the chase and every query state."""
+        if self.chase is not None or self._states:
+            self.invalidations += 1
+        self.chase = None
+        self._states.clear()
+
+    def chase_for(self, prepared: PreparedQuery) -> QueryDirectedChase:
+        """The shared chase, (re)built if stale or not deep enough."""
+        self.revalidate()
+        if self.chase is None or self.chase.null_depth_bound < prepared.null_depth:
+            # Deepen monotonically so a later shallow query never re-chases.
+            depth = prepared.null_depth
+            if self.chase is not None:
+                depth = max(depth, self.chase.null_depth_bound)
+            self.chase = query_directed_chase(
+                self.database,
+                self.ontology,
+                prepared.omq.query,
+                null_depth=depth,
+                reuse=self.chase,
+            )
+            self.chase_builds += 1
+        return self.chase
+
+    def state_for(self, prepared: PreparedQuery) -> QueryState:
+        """The reduced enumeration state for ``prepared``, built on demand."""
+        self.revalidate()
+        state = self._states.get(prepared.query_fingerprint)
+        if state is None:
+            chase = self.chase_for(prepared)
+            if prepared.supports_enumeration:
+                enumerator: CDLinEnumerator | MaterializedAnswers = CDLinEnumerator(
+                    prepared.omq.query,
+                    chase.instance,
+                    keep_nulls=False,
+                    decomposition=prepared.decomposition,
+                )
+            else:
+                enumerator = MaterializedAnswers(
+                    self._fallback_answers(prepared, chase)
+                )
+            state = QueryState(prepared=prepared, chase=chase, enumerator=enumerator)
+            self._states.put(prepared.query_fingerprint, state)
+            self.state_builds += 1
+        return state

@@ -17,21 +17,32 @@ from repro.data.instance import Instance
 from repro.cq.atoms import Atom, Variable
 from repro.cq.query import ConjunctiveQuery
 from repro.enumeration.reduction import ReducedQuery, build_reduced_query
+from repro.yannakakis.decomposition import FreeConnexDecomposition
 
 
 class CDLinEnumerator:
-    """Linear preprocessing / constant delay enumerator for plain CQs."""
+    """Linear preprocessing / constant delay enumerator for plain CQs.
+
+    ``decomposition``, when given, must be the free-connex decomposition of
+    the query *after head deduplication* (``query.deduplicated_head()[0]``);
+    prepared-query plans precompute it once so only the data-dependent part
+    of preprocessing runs per database.
+    """
 
     def __init__(
         self,
         query: ConjunctiveQuery,
         instance: Instance,
         keep_nulls: bool = False,
+        decomposition: "FreeConnexDecomposition | None" = None,
     ) -> None:
         self.original_query = query
         self.deduplicated, self._head_positions = query.deduplicated_head()
         self.reduced: ReducedQuery = build_reduced_query(
-            self.deduplicated, instance, keep_nulls=keep_nulls
+            self.deduplicated,
+            instance,
+            keep_nulls=keep_nulls,
+            decomposition=decomposition,
         )
         self._order: list[Atom] = []
         self._indexes: dict[Atom, dict[tuple, list[tuple]]] = {}

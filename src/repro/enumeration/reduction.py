@@ -35,7 +35,11 @@ from repro.cq.acyclicity import is_acyclic
 from repro.cq.atoms import Atom, Variable
 from repro.cq.jointree import JoinTree, build_join_tree
 from repro.cq.query import ConjunctiveQuery, QueryError
-from repro.yannakakis.decomposition import Component, decompose_free_connex
+from repro.yannakakis.decomposition import (
+    Component,
+    FreeConnexDecomposition,
+    decompose_free_connex,
+)
 from repro.yannakakis.evaluation import NotAcyclicError
 from repro.yannakakis.relations import AtomRelation, atom_relation
 from repro.yannakakis.semijoin import bottom_up_pass, full_reducer
@@ -105,19 +109,25 @@ def build_reduced_query(
     instance: Instance,
     keep_nulls: bool = False,
     require_acyclic: bool = True,
+    decomposition: "FreeConnexDecomposition | None" = None,
 ) -> ReducedQuery:
     """Build ``q1`` and ``D1`` from ``q0`` and ``D0``.
 
     ``keep_nulls`` selects between complete-answer mode (drop block rows with
     nulls in answer positions) and partial-answer mode (keep them).  The
     query head must not repeat variables; callers deduplicate first.
+
+    ``decomposition`` may carry the free-connex decomposition of ``query``
+    computed ahead of time (it is data-independent), in which case the
+    structural preprocessing — including the acyclicity check it implies —
+    is skipped and only the data-dependent reduction runs.
     """
     if len(set(query.answer_variables)) != len(query.answer_variables):
         raise QueryError("reduce requires a head without repeated variables")
-    if require_acyclic and not is_acyclic(query):
-        raise NotAcyclicError(f"{query.name} is not acyclic")
-
-    decomposition = decompose_free_connex(query)
+    if decomposition is None:
+        if require_acyclic and not is_acyclic(query):
+            raise NotAcyclicError(f"{query.name} is not acyclic")
+        decomposition = decompose_free_connex(query)
     head = tuple(query.answer_variables)
 
     blocks: list[Block] = []

@@ -2,11 +2,12 @@
 
 from repro.yannakakis.relations import AtomRelation, atom_relation
 from repro.yannakakis.semijoin import full_reducer, semijoin
-from repro.yannakakis.evaluation import boolean_eval, single_test
+from repro.yannakakis.evaluation import BooleanQueryPlan, boolean_eval, single_test
 from repro.yannakakis.decomposition import FreeConnexDecomposition, decompose_free_connex
 
 __all__ = [
     "AtomRelation",
+    "BooleanQueryPlan",
     "FreeConnexDecomposition",
     "atom_relation",
     "boolean_eval",

@@ -21,28 +21,50 @@ class NotAcyclicError(ValueError):
     """Raised when an algorithm requiring acyclicity gets a cyclic query."""
 
 
+class BooleanQueryPlan:
+    """The data-independent half of Boolean acyclic-query evaluation.
+
+    The constructor decomposes the (Boolean version of the) query into
+    connected components and builds one join tree per component — everything
+    that depends only on the query.  :meth:`evaluate` then runs the
+    data-dependent semi-join passes; a plan can be evaluated against many
+    instances, which is how the prepared-query engine amortizes the
+    structural work across calls.
+    """
+
+    __slots__ = ("query", "_components")
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.query = query
+        boolean_query = query.boolean_version()
+        self._components: list[tuple[list, object]] = []
+        for component in boolean_query.connected_components():
+            tree = build_join_tree(component.atoms)
+            if tree is None:
+                raise NotAcyclicError(f"query component {component} is not acyclic")
+            self._components.append((list(component.atoms), tree))
+
+    def evaluate(self, instance: Instance) -> bool:
+        """Evaluate the plan on ``instance`` (the data-dependent phase)."""
+        for atoms, tree in self._components:
+            relations = {atom: atom_relation(atom, instance) for atom in atoms}
+            if any(relation.is_empty() for relation in relations.values()):
+                return False
+            bottom_up_pass(tree, relations)
+            if relations[tree.root].is_empty():
+                return False
+        return True
+
+
 def boolean_eval(query: ConjunctiveQuery, instance: Instance) -> bool:
     """Evaluate the Boolean version of an acyclic query on ``instance``.
 
-    The query's connected components are evaluated independently: for each
-    component a join tree is built, its relations are semi-join reduced
-    bottom-up and the component holds iff the root relation stays non-empty.
+    One-shot convenience over :class:`BooleanQueryPlan`: the query's
+    connected components are evaluated independently, each semi-join reduced
+    bottom-up along its join tree, and the query holds iff every component's
+    root relation stays non-empty.
     """
-    boolean_query = query.boolean_version()
-    components = boolean_query.connected_components()
-    if not components:
-        return True
-    for component in components:
-        tree = build_join_tree(component.atoms)
-        if tree is None:
-            raise NotAcyclicError(f"query component {component} is not acyclic")
-        relations = {atom: atom_relation(atom, instance) for atom in component.atoms}
-        if any(relation.is_empty() for relation in relations.values()):
-            return False
-        bottom_up_pass(tree, relations)
-        if relations[tree.root].is_empty():
-            return False
-    return True
+    return BooleanQueryPlan(query).evaluate(instance)
 
 
 def single_test(

@@ -1,0 +1,375 @@
+"""Tests for the prepared-query engine (repro.engine).
+
+Covers plan-cache correctness (hits on repeated (ontology, query), LRU
+eviction, fingerprint stability under re-parsing), invalidation of
+materialized state after ``Instance.add``/``discard``, batch results being
+identical to sequential per-query results, cursors, and the CLI.
+"""
+
+import json
+
+import pytest
+
+from repro import Database, Fact, parse_ontology, parse_query
+from repro.cli import main as cli_main
+from repro.core import OMQ, CompleteAnswerEnumerator
+from repro.cq.query import QueryError
+from repro.engine import (
+    LRUCache,
+    QueryEngine,
+    ontology_fingerprint,
+    prepare_query,
+    query_fingerprint,
+)
+from repro.workloads import generate_university_database, university_omq
+
+QUERY_TEXT = "q(s, a, d) :- HasAdvisor(s, a), WorksFor(a, d)"
+PROJECTION_TEXT = "q(s, a) :- HasAdvisor(s, a)"
+
+
+@pytest.fixture
+def univ_omq() -> OMQ:
+    return university_omq()
+
+
+@pytest.fixture
+def univ_db() -> Database:
+    return generate_university_database(80, seed=3)
+
+
+@pytest.fixture
+def engine(univ_omq, univ_db) -> QueryEngine:
+    return QueryEngine(univ_omq.ontology, univ_db)
+
+
+class TestFingerprints:
+    def test_query_fingerprint_stable_under_reparsing(self):
+        first = parse_query(QUERY_TEXT)
+        second = parse_query(QUERY_TEXT)
+        assert first is not second
+        assert query_fingerprint(first) == query_fingerprint(second)
+
+    def test_query_fingerprint_ignores_name(self):
+        named = parse_query(QUERY_TEXT, name="other")
+        assert query_fingerprint(named) == query_fingerprint(parse_query(QUERY_TEXT))
+
+    def test_query_fingerprint_distinguishes_structure(self):
+        assert query_fingerprint(parse_query(QUERY_TEXT)) != query_fingerprint(
+            parse_query(PROJECTION_TEXT)
+        )
+
+    def test_ontology_fingerprint_ignores_tgd_order(self):
+        forward = parse_ontology("A(x) -> B(x)\nB(x) -> C(x)")
+        backward = parse_ontology("B(x) -> C(x)\nA(x) -> B(x)")
+        assert ontology_fingerprint(forward) == ontology_fingerprint(backward)
+
+    def test_ontology_fingerprint_distinguishes_tgds(self):
+        assert ontology_fingerprint(parse_ontology("A(x) -> B(x)")) != (
+            ontology_fingerprint(parse_ontology("A(x) -> C(x)"))
+        )
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_cache(self, engine):
+        first = engine.prepare(QUERY_TEXT)
+        second = engine.prepare(QUERY_TEXT)
+        assert first is second
+        stats = engine.stats
+        assert stats.plan_hits == 1
+        assert stats.plan_misses == 1
+        assert stats.plans_cached == 1
+
+    def test_reparsed_and_object_queries_share_a_plan(self, engine):
+        via_text = engine.prepare(QUERY_TEXT)
+        via_object = engine.prepare(parse_query(QUERY_TEXT))
+        assert via_text is via_object
+
+    def test_lru_eviction_recompiles(self, univ_omq, univ_db):
+        engine = QueryEngine(univ_omq.ontology, univ_db, plan_cache_size=1)
+        first = engine.prepare(QUERY_TEXT)
+        engine.prepare(PROJECTION_TEXT)  # evicts the first plan
+        again = engine.prepare(QUERY_TEXT)
+        assert again is not first
+        assert engine.stats.plan_evictions >= 1
+
+    def test_prepared_plan_contents(self, univ_omq):
+        plan = prepare_query(univ_omq.ontology, parse_query(QUERY_TEXT))
+        assert plan.is_acyclic
+        assert plan.is_free_connex_acyclic
+        assert plan.supports_enumeration
+        assert plan.join_tree is not None
+        assert plan.decomposition is not None
+        assert plan.null_depth > 0
+        assert plan.cache_key == (
+            ontology_fingerprint(univ_omq.ontology),
+            query_fingerprint(parse_query(QUERY_TEXT)),
+        )
+
+    def test_strict_rejects_cyclic_query(self, engine):
+        cyclic = "q(x, y, z) :- R(x, y), S(y, z), T(z, x)"
+        with pytest.raises(QueryError):
+            engine.prepare(cyclic)
+
+    def test_non_strict_falls_back_to_certain_answers(self, univ_omq, univ_db):
+        # Acyclic but not free-connex: CD∘Lin does not apply, so the engine
+        # serves materialized certain answers instead of crashing.
+        projection = parse_query("q(s, d) :- HasAdvisor(s, a), WorksFor(a, d)")
+        reference = OMQ.from_parts(univ_omq.ontology, projection)
+        assert reference.is_acyclic() and not reference.is_free_connex_acyclic()
+        engine = QueryEngine(univ_omq.ontology, univ_db, strict=False)
+        plan = engine.prepare(projection)
+        assert not plan.supports_enumeration
+        assert engine.execute(projection) == reference.certain_answers(univ_db)
+        with engine.open(projection) as cursor:
+            assert set(cursor) == reference.certain_answers(univ_db)
+
+    def test_omq_with_foreign_ontology_rejected(self, engine):
+        other = OMQ.from_parts(parse_ontology("A(x) -> B(x)"), parse_query("q(x) :- A(x)"))
+        with pytest.raises(QueryError):
+            engine.prepare(other)
+
+
+class TestExecution:
+    def test_execute_matches_fresh_enumerator(self, univ_omq, univ_db, engine):
+        expected = set(CompleteAnswerEnumerator(univ_omq, univ_db))
+        assert engine.execute(univ_omq.query) == expected
+
+    def test_materialization_shared_across_queries(self, engine):
+        engine.execute(QUERY_TEXT)
+        engine.execute(PROJECTION_TEXT)
+        stats = engine.stats
+        assert stats.chase_builds == 1
+        assert stats.state_builds == 2
+
+    def test_repeated_execution_reuses_state(self, engine):
+        first = engine.execute(QUERY_TEXT)
+        second = engine.execute(QUERY_TEXT)
+        assert first == second
+        stats = engine.stats
+        assert stats.chase_builds == 1
+        assert stats.state_builds == 1
+
+    def test_execute_requires_a_database(self, univ_omq):
+        engine = QueryEngine(univ_omq.ontology)
+        with pytest.raises(ValueError):
+            engine.execute(QUERY_TEXT)
+
+    def test_per_call_database_override(self, univ_omq, engine):
+        other = generate_university_database(40, seed=9)
+        expected = set(CompleteAnswerEnumerator(univ_omq, other))
+        assert engine.execute(univ_omq.query, database=other) == expected
+        assert engine.stats.chase_builds == 1  # only the override database chased
+
+    def test_materialization_cache_is_bounded(self, univ_omq):
+        engine = QueryEngine(univ_omq.ontology, materialization_cache_size=2)
+        databases = [generate_university_database(20, seed=s) for s in range(4)]
+        for database in databases:
+            engine.execute(univ_omq.query, database=database)
+        assert len(engine._materializations) == 2
+        # An evicted database is transparently re-materialized on next use.
+        expected = set(CompleteAnswerEnumerator(univ_omq, databases[0]))
+        assert engine.execute(univ_omq.query, database=databases[0]) == expected
+
+    def test_chase_supports_deeper_reuse(self, univ_omq, univ_db):
+        big_chase = univ_omq.chase(univ_db)
+        small_query = parse_query("q(s, a) :- HasAdvisor(s, a)")
+        assert big_chase.supports(small_query)
+        shallow = univ_omq.chase(univ_db, null_depth=1)
+        assert not shallow.supports(univ_omq.query)
+
+
+class TestInvalidation:
+    def test_add_invalidates_materialized_state(self, univ_omq, univ_db, engine):
+        before = engine.execute(univ_omq.query)
+        univ_db.add(Fact("HasAdvisor", ("newstudent", "prof0")))
+        univ_db.add(Fact("WorksFor", ("prof0", "dept0")))
+        after = engine.execute(univ_omq.query)
+        assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
+        assert ("newstudent", "prof0", "dept0") in after
+        assert after != before
+        assert engine.stats.invalidations >= 1
+        assert engine.stats.chase_builds == 2
+
+    def test_discard_invalidates_materialized_state(self, univ_omq, univ_db, engine):
+        fact = next(iter(univ_db.relation("HasAdvisor")))
+        before = engine.execute(univ_omq.query)
+        assert univ_db.discard(fact)
+        after = engine.execute(univ_omq.query)
+        assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
+        assert after <= before
+
+    def test_noop_mutation_keeps_state(self, univ_omq, univ_db, engine):
+        engine.execute(univ_omq.query)
+        existing = next(iter(univ_db.relation("HasAdvisor")))
+        assert not univ_db.add(existing)  # already present: no version bump
+        engine.execute(univ_omq.query)
+        assert engine.stats.chase_builds == 1
+        assert engine.stats.invalidations == 0
+
+    def test_explicit_invalidate(self, univ_omq, engine):
+        engine.execute(univ_omq.query)
+        engine.invalidate()
+        engine.execute(univ_omq.query)
+        assert engine.stats.chase_builds == 2
+
+    def test_instance_version_counter(self):
+        database = Database()
+        assert database.version == 0
+        fact = Fact("R", ("a", "b"))
+        assert database.add(fact)
+        assert database.version == 1
+        assert not database.add(fact)
+        assert database.version == 1
+        assert database.discard(fact)
+        assert database.version == 2
+        assert not database.discard(fact)
+        assert database.version == 2
+
+
+class TestBatch:
+    QUERIES = (QUERY_TEXT, PROJECTION_TEXT, "q(a, d) :- WorksFor(a, d)")
+
+    def test_batch_identical_to_sequential(self, univ_omq, univ_db, engine):
+        batch = list(self.QUERIES) * 4
+        batched = engine.execute_batch(batch)
+        sequential = [engine.execute(query) for query in batch]
+        assert batched == sequential
+        fresh = [
+            set(
+                CompleteAnswerEnumerator(
+                    OMQ.from_parts(univ_omq.ontology, parse_query(text)), univ_db
+                )
+            )
+            for text in batch
+        ]
+        assert batched == fresh
+
+    def test_batch_sequential_worker_loop(self, engine):
+        batched = engine.execute_batch(list(self.QUERIES), max_workers=1)
+        assert batched == [engine.execute(query) for query in self.QUERIES]
+
+    def test_batch_empty(self, engine):
+        assert engine.execute_batch([]) == []
+
+    def test_batch_preprocesses_once(self, engine):
+        engine.execute_batch(list(self.QUERIES) * 3)
+        stats = engine.stats
+        assert stats.chase_builds == 1
+        assert stats.state_builds == len(self.QUERIES)
+
+
+class TestCursor:
+    def test_cursor_enumerates_all_answers(self, univ_omq, engine):
+        expected = engine.execute(univ_omq.query)
+        with engine.open(univ_omq.query) as cursor:
+            assert set(cursor) == expected
+
+    def test_cursor_restart(self, univ_omq, engine):
+        cursor = engine.open(univ_omq.query)
+        first_pass = set(cursor.fetchall())
+        cursor.restart()
+        assert set(cursor.fetchall()) == first_pass
+        cursor.close()
+
+    def test_fetchmany_pages_through(self, univ_omq, engine):
+        expected = engine.execute(univ_omq.query)
+        cursor = engine.open(univ_omq.query)
+        seen: set[tuple] = set()
+        while True:
+            page = cursor.fetchmany(7)
+            if not page:
+                break
+            assert len(page) <= 7
+            seen.update(page)
+        assert seen == expected
+
+    def test_cursor_sees_mutations_after_restart(self, univ_omq, univ_db, engine):
+        cursor = engine.open(univ_omq.query)
+        before = set(cursor.fetchall())
+        univ_db.add(Fact("HasAdvisor", ("xs", "prof0")))
+        univ_db.add(Fact("WorksFor", ("prof0", "dept1")))
+        cursor.restart()
+        after = set(cursor.fetchall())
+        assert ("xs", "prof0", "dept1") in after
+        assert after >= {a for a in before if a[0] != "xs"}
+
+    def test_closed_cursor_refuses_restart(self, univ_omq, engine):
+        cursor = engine.open(univ_omq.query)
+        cursor.close()
+        with pytest.raises(RuntimeError):
+            cursor.restart()
+
+
+class TestCLI:
+    def test_run_json_report(self, capsys, tmp_path):
+        query_file = tmp_path / "advisors.cq"
+        query_file.write_text(PROJECTION_TEXT, encoding="utf-8")
+        exit_code = cli_main(
+            [
+                "run",
+                "--workload",
+                "university",
+                "--size",
+                "50",
+                "--queries",
+                str(query_file),
+                "--repeat",
+                "3",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workload"] == "university"
+        assert report["executed"] == 3
+        assert report["results"][0]["query"] == "advisors.cq"
+        assert report["results"][0]["answers"] > 0
+        assert report["engine"]["plan_misses"] == 1
+
+    def test_run_batch_matches_default_query(self, capsys):
+        exit_code = cli_main(
+            ["run", "--workload", "office", "--size", "40", "--batch", "--json"]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mode"] == "batch"
+        assert report["queries"] == 1
+
+    def test_workloads_listing(self, capsys):
+        assert cli_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "university" in out
+        assert "office" in out
+
+    def test_bad_query_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cq"
+        bad.write_text("not a query", encoding="utf-8")
+        exit_code = cli_main(
+            ["run", "--workload", "university", "--queries", str(bad), "--json"]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
