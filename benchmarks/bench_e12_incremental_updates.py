@@ -1,0 +1,174 @@
+"""E12 — Incremental maintenance under live updates vs full rebuilds.
+
+The incremental subsystem's promise: after a mutation batch touching ~1% of
+the facts, a warm engine re-serves queries after a delta chase plus touched-
+block reduction maintenance instead of rebuilding the materialization from
+scratch.  This experiment replays identical mutation scripts (half new-
+entity insertions, half deletions, one ``Database.batch()`` per round)
+against two engines on equal databases — one incremental, one with
+``incremental=False`` (every round pays a full chase + reduction rebuild) —
+checking byte-identical answers after every round and gating the speedup at
+the 5× acceptance floor (typically far above it: the delta chase scales
+with the delta, the rebuild with the database).
+"""
+
+import random
+import time
+
+from repro.bench import print_table
+from repro.data.facts import Fact
+from repro.engine import QueryEngine
+from repro.workloads import generate_university_database, university_omq
+
+SIZES = (400, 800, 1600, 3200)
+ROUNDS = 20
+DELTA_FRACTION = 0.01
+
+
+def _mutation_script(database, rounds, delta_fraction, seed):
+    """Precompute identical per-round mutation batches for both engines."""
+    rng = random.Random(seed)
+    live = sorted(database.facts(), key=repr)
+    batch_size = max(2, int(len(live) * delta_fraction))
+    script = []
+    for round_index in range(rounds):
+        additions, deletions = [], []
+        for index in range(batch_size):
+            if rng.random() < 0.5 and live:
+                deletions.append(live.pop(rng.randrange(len(live))))
+            else:
+                template = live[rng.randrange(len(live))]
+                fact = Fact(
+                    template.relation,
+                    (f"live{round_index}_{index}",) + template.args[1:],
+                )
+                additions.append(fact)
+                live.append(fact)
+        script.append((additions, deletions))
+    return script, batch_size
+
+
+def _replay(engine, database, query, script):
+    """Apply the script round by round, re-executing after each batch."""
+    answer_trace = []
+    started = time.perf_counter()
+    for additions, deletions in script:
+        with database.batch():
+            for fact in additions:
+                database.add(fact)
+            for fact in deletions:
+                database.discard(fact)
+        answer_trace.append(engine.execute(query))
+    return time.perf_counter() - started, answer_trace
+
+
+def _update_workload(size, rounds=ROUNDS, delta_fraction=DELTA_FRACTION, seed=None):
+    omq = university_omq()
+    seed = size if seed is None else seed
+    incremental_db = generate_university_database(size, seed=seed)
+    rebuild_db = generate_university_database(size, seed=seed)
+    script, batch_size = _mutation_script(incremental_db, rounds, delta_fraction, seed)
+
+    incremental_engine = QueryEngine(omq.ontology, incremental_db)
+    incremental_engine.execute(omq.query)  # warm the materialization
+    incremental_seconds, incremental_trace = _replay(
+        incremental_engine, incremental_db, omq.query, script
+    )
+
+    rebuild_engine = QueryEngine(omq.ontology, rebuild_db, incremental=False)
+    rebuild_engine.execute(omq.query)
+    rebuild_seconds, rebuild_trace = _replay(
+        rebuild_engine, rebuild_db, omq.query, script
+    )
+
+    assert incremental_trace == rebuild_trace, (
+        "incremental answers diverge from full-rebuild answers"
+    )
+    stats = incremental_engine.stats
+    assert stats.chase_builds == 1, "incremental engine must not rebuild the chase"
+    assert stats.chase_increments == rounds
+    assert rebuild_engine.stats.chase_builds == rounds + 1
+    return {
+        "db_facts": len(incremental_db),
+        "batch_size": batch_size,
+        "answers": len(incremental_trace[-1]),
+        "incremental_seconds": incremental_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": rebuild_seconds / incremental_seconds
+        if incremental_seconds
+        else float("inf"),
+    }
+
+
+def test_e12_incremental_updates(benchmark):
+    rows = []
+    worst = float("inf")
+    for size in SIZES:
+        outcome = _update_workload(size)
+        worst = min(worst, outcome["speedup"])
+        rows.append(
+            (
+                size,
+                outcome["db_facts"],
+                outcome["batch_size"],
+                outcome["answers"],
+                outcome["rebuild_seconds"] * 1000,
+                outcome["incremental_seconds"] * 1000,
+                outcome["speedup"],
+            )
+        )
+    print_table(
+        [
+            "size",
+            "db facts",
+            "delta",
+            "answers",
+            f"rebuild x{ROUNDS} (ms)",
+            f"incremental x{ROUNDS} (ms)",
+            "speedup",
+        ],
+        rows,
+        title=(
+            f"E12  Incremental maintenance, university workload, "
+            f"{ROUNDS} rounds of {DELTA_FRACTION:.0%} deltas"
+        ),
+    )
+    assert worst >= 5.0, (
+        f"incremental maintenance must be >= 5x a full rebuild for "
+        f"{DELTA_FRACTION:.0%} deltas, got {worst:.2f}x"
+    )
+
+    omq = university_omq()
+    database = generate_university_database(800, seed=800)
+    engine = QueryEngine(omq.ontology, database)
+    engine.execute(omq.query)
+    counter = iter(range(10**9))
+
+    def one_round():
+        index = next(counter)
+        database.add(Fact("HasAdvisor", (f"bench{index}", "prof0")))
+        return engine.execute(omq.query)
+
+    benchmark(one_round)
+
+
+def smoke() -> dict:
+    """Tiny-input smoke: 10 rounds of 1% deltas must clear the 5x gate."""
+    outcome = _update_workload(400, rounds=10)
+    assert outcome["speedup"] >= 5.0, (
+        f"incremental speedup {outcome['speedup']:.2f}x is below the 5x floor"
+    )
+    return {
+        "db_facts": outcome["db_facts"],
+        "delta_facts": outcome["batch_size"],
+        "answers": outcome["answers"],
+        "speedup": round(outcome["speedup"], 2),
+    }
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e12_incremental_updates", smoke))

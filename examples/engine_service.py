@@ -9,7 +9,8 @@ plans and the shared per-database materialization.  Along the way it shows
 2. repeated execution (preprocessing amortized away),
 3. mixed batches through ``execute_batch``,
 4. cursors for paged, constant-delay streaming, and
-5. automatic invalidation when the database is updated in place.
+5. automatic re-sync when the database is updated in place (see
+   ``examples/live_updates.py`` for the incremental-maintenance story).
 
 Run with:  python examples/engine_service.py
 """
@@ -93,14 +94,16 @@ def main() -> None:
     count_after = len(engine.execute(QUERY_TEMPLATES["advisor-dept"]))
     print(
         f"\nafter adding a student: {count_before} -> {count_after} answers "
-        "(materialization invalidated and rebuilt automatically)"
+        "(materialization maintained in place by the delta chase)"
     )
 
     stats = engine.stats
     print(
         f"\nengine stats: {stats.plans_cached} plans "
         f"({stats.plan_hits} hits / {stats.plan_misses} misses), "
-        f"{stats.chase_builds} chase builds, {stats.state_builds} state builds, "
+        f"{stats.chase_builds} chase builds, "
+        f"{stats.chase_increments} incremental update(s), "
+        f"{stats.state_builds} state builds, "
         f"{stats.invalidations} invalidation(s)"
     )
 

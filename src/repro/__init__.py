@@ -11,11 +11,14 @@ from repro.cq import Atom, ConjunctiveQuery, Variable, parse_query
 from repro.tgds import TGD, Ontology, parse_ontology, parse_tgd
 from repro.chase import chase, query_directed_chase
 from repro.engine import PreparedQuery, QueryEngine, prepare_query
+from repro.incremental import ChaseMaintainer, Delta
 
 __all__ = [
     "Atom",
+    "ChaseMaintainer",
     "ConjunctiveQuery",
     "Database",
+    "Delta",
     "Fact",
     "Instance",
     "Ontology",

@@ -100,13 +100,79 @@ class ChaseResult:
         return list(blocks.values())
 
 
-def _head_satisfied(
+class ChaseRecorder:
+    """Observer protocol for provenance-aware chase runs.
+
+    :mod:`repro.incremental.provenance` implements it to capture, per fired
+    trigger, the supporting body facts and the created facts/nulls — and,
+    per *suppressed* trigger (body matched, head already satisfied), the
+    facts witnessing the satisfaction.  Those records are exactly what the
+    DRed-style delete/re-derive maintenance needs later.  The default
+    implementation records nothing, so a plain chase pays no bookkeeping.
+    """
+
+    def bind(self, instance: Instance, fired: set[tuple], fresh: NullFactory) -> None:
+        """Called once at the start of the run with the live structures."""
+
+    def on_fire(
+        self,
+        tgd_index: int,
+        key: tuple,
+        frontier_map: dict[Variable, object],
+        body_facts: tuple[Fact, ...],
+        created_facts: tuple[Fact, ...],
+        created_nulls: tuple[Null, ...],
+    ) -> None:
+        """A trigger fired: ``created_facts`` lists every head fact (new or
+        pre-existing — both are justified by this firing)."""
+
+    def on_suppress(
+        self,
+        tgd_index: int,
+        key: tuple,
+        frontier_map: dict[Variable, object],
+        witness_facts: tuple[Fact, ...],
+    ) -> None:
+        """A trigger was skipped because ``witness_facts`` satisfy its head."""
+
+
+@dataclass(frozen=True)
+class CompiledOntology:
+    """The per-TGD structures every chase round reuses."""
+
+    tgds: tuple[TGD, ...]
+    body_queries: tuple[ConjunctiveQuery | None, ...]
+    head_queries: tuple[ConjunctiveQuery, ...]
+    frontiers: tuple[tuple[Variable, ...], ...]
+    existentials: tuple[tuple[Variable, ...], ...]
+
+
+def compile_ontology(ontology: Ontology) -> CompiledOntology:
+    """Precompile the body/head queries and variable partitions of ``ontology``."""
+    tgds = tuple(ontology)
+    return CompiledOntology(
+        tgds=tgds,
+        body_queries=tuple(
+            ConjunctiveQuery([], tgd.body) if tgd.body else None for tgd in tgds
+        ),
+        head_queries=tuple(
+            ConjunctiveQuery(
+                sorted(tgd.frontier_variables(), key=lambda v: v.name), tgd.head
+            )
+            for tgd in tgds
+        ),
+        frontiers=tuple(tuple(tgd.frontier_variables()) for tgd in tgds),
+        existentials=tuple(tuple(tgd.existential_variables()) for tgd in tgds),
+    )
+
+
+def _head_witness(
     head_query: ConjunctiveQuery,
     frontier_map: dict[Variable, object],
     instance: Instance,
-) -> bool:
-    """True if the head of the TGD is already satisfied at this trigger."""
-    return find_homomorphism(head_query, instance, partial=frontier_map) is not None
+) -> dict[Variable, object] | None:
+    """A homomorphism satisfying the TGD head at this trigger, or ``None``."""
+    return find_homomorphism(head_query, instance, partial=frontier_map)
 
 
 def _trigger_key(tgd_index: int, body_map: dict[Variable, object]) -> tuple:
@@ -153,6 +219,7 @@ def chase(
     max_facts: int = 1_000_000,
     max_rounds: int = 10_000,
     oblivious: bool = False,
+    recorder: ChaseRecorder | None = None,
 ) -> ChaseResult:
     """Run the chase of ``database`` with ``ontology``.
 
@@ -160,7 +227,10 @@ def chase(
     facts.  ``max_null_depth`` truncates the run as described in the module
     docstring (``truncated`` is set when at least one trigger was skipped for
     this reason); ``max_facts`` / ``max_rounds`` are hard safety budgets that
-    raise :class:`ChaseNotTerminating` when exhausted.
+    raise :class:`ChaseNotTerminating` when exhausted.  ``recorder``, when
+    given, observes every fired and suppressed trigger (see
+    :class:`ChaseRecorder`); it is how the incremental-maintenance subsystem
+    captures provenance without slowing down plain runs.
     """
     instance = Instance(database)
     base_constants = frozenset(instance.constants())
@@ -168,24 +238,20 @@ def chase(
     fresh = NullFactory()
     result = ChaseResult(instance, base_constants, null_depth)
     fired: set[tuple] = set()
+    if recorder is not None:
+        recorder.bind(instance, fired, fresh)
 
     def depth_of(element: object) -> int:
         if is_null(element):
             return null_depth.get(element, 0)
         return 0
 
-    tgds = list(ontology)
-    body_queries = [
-        ConjunctiveQuery([], tgd.body) if tgd.body else None for tgd in tgds
-    ]
-    head_queries = [
-        ConjunctiveQuery(
-            sorted(tgd.frontier_variables(), key=lambda v: v.name), tgd.head
-        )
-        for tgd in tgds
-    ]
-    frontiers = [tuple(tgd.frontier_variables()) for tgd in tgds]
-    existentials = [tuple(tgd.existential_variables()) for tgd in tgds]
+    compiled = compile_ontology(ontology)
+    tgds = compiled.tgds
+    body_queries = compiled.body_queries
+    head_queries = compiled.head_queries
+    frontiers = compiled.frontiers
+    existentials = compiled.existentials
     # Semi-naive (delta-driven) rounds: the first round matches bodies against
     # the whole database; every later round only seeds the body search with
     # facts added in the previous round.  Trigger lists are materialised
@@ -218,7 +284,19 @@ def chase(
                     key = _trigger_key(tgd_index, frontier_map)
                     if key in fired:
                         continue
-                    if _head_satisfied(head_queries[tgd_index], frontier_map, instance):
+                    witness = _head_witness(
+                        head_queries[tgd_index], frontier_map, instance
+                    )
+                    if witness is not None:
+                        if recorder is not None:
+                            recorder.on_suppress(
+                                tgd_index,
+                                key,
+                                dict(frontier_map),
+                                tuple(
+                                    atom.to_fact(witness) for atom in tgd.head
+                                ),
+                            )
                         continue
                 trigger_depth = max(
                     (depth_of(v) for v in frontier_map.values()), default=0
@@ -229,15 +307,28 @@ def chase(
                         continue
                 fired.add(key)
                 head_map = dict(frontier_map)
+                created_nulls: list[Null] = []
                 for variable in existentials[tgd_index]:
                     null = fresh()
                     null_depth[null] = trigger_depth + 1
                     head_map[variable] = null
+                    created_nulls.append(null)
+                created_facts: list[Fact] = []
                 for atom in tgd.head:
                     new_fact = atom.to_fact(head_map)
+                    created_facts.append(new_fact)
                     if instance.add(new_fact):
                         new_facts.append(new_fact)
                 result.fired_triggers += 1
+                if recorder is not None:
+                    recorder.on_fire(
+                        tgd_index,
+                        key,
+                        dict(frontier_map),
+                        tuple(atom.to_fact(body_map) for atom in tgd.body),
+                        tuple(created_facts),
+                        tuple(created_nulls),
+                    )
                 if len(instance) > max_facts:
                     raise ChaseNotTerminating(
                         f"chase exceeded {max_facts} facts"

@@ -4,6 +4,7 @@ Runs prepared-query workloads through :class:`repro.engine.QueryEngine`::
 
     repro run --workload university --size 400 --repeat 100 --json
     repro run --workload office --queries q1.cq q2.cq --batch
+    repro run --workload university --updates 20 --update-size 5 --json
     repro workloads
 
 ``run`` builds the workload's synthetic database, prepares every query once,
@@ -13,17 +14,27 @@ engine's cache statistics — as a table, or as one JSON document with
 ``--json``.  Query files contain a single Datalog-style query
 (``q(x, y) :- R(x, z), S(z, y)``); without ``--queries`` the workload's
 canonical query is used.
+
+``--updates N`` appends a *live-update replay*: N rounds, each applying one
+``Database.batch()`` of random schema-shaped insertions and deletions
+(``--update-size`` facts per round, default ~1% of the database) and then
+re-executing every query on the warm engine.  The report shows how many
+rounds the incremental subsystem served in place (``chase_increments``)
+versus full rebuilds; ``--no-incremental`` forces the rebuild path for
+comparison.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.data.facts import Fact
 from repro.data.instance import Database
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
@@ -64,6 +75,76 @@ def _load_queries(
     return queries
 
 
+def _mutation_batch(
+    database: Database, live: list[Fact], rng: random.Random, count: int, tag: str
+) -> tuple[int, int]:
+    """One coalesced batch of ~half insertions, ~half deletions.
+
+    Insertions clone the shape of random existing facts with a fresh first
+    argument (a new entity entering the system); deletions drop random
+    existing facts.  Everything lands in one ``Database.batch()`` so the
+    engine sees a single delta.  ``live`` mirrors the database's fact set
+    and is maintained across rounds (built once by the caller) so the
+    replay never re-materialises it.
+    """
+    added = removed = 0
+    with database.batch():
+        for index in range(count):
+            if not live:
+                break
+            if rng.random() < 0.5:
+                victim = live.pop(rng.randrange(len(live)))
+                if database.discard(victim):
+                    removed += 1
+            else:
+                template = live[rng.randrange(len(live))]
+                fact = Fact(
+                    template.relation, (f"live_{tag}_{index}",) + template.args[1:]
+                )
+                if database.add(fact):
+                    added += 1
+                    live.append(fact)
+    return added, removed
+
+
+def _replay_updates(
+    engine: QueryEngine,
+    database: Database,
+    queries: list[tuple[str, ConjunctiveQuery]],
+    rounds: int,
+    batch_size: int,
+    seed: int,
+) -> dict:
+    """Replay ``rounds`` mutation batches against the warm engine."""
+    rng = random.Random(seed)
+    live = sorted(database.facts(), key=repr)
+    added = removed = 0
+    round_seconds: list[float] = []
+    started = time.perf_counter()
+    for round_index in range(rounds):
+        plus, minus = _mutation_batch(database, live, rng, batch_size, str(round_index))
+        added += plus
+        removed += minus
+        round_started = time.perf_counter()
+        for _, query in queries:
+            engine.execute(query)
+        round_seconds.append(time.perf_counter() - round_started)
+    total_seconds = time.perf_counter() - started
+    stats = engine.stats
+    return {
+        "rounds": rounds,
+        "batch_size": batch_size,
+        "facts_added": added,
+        "facts_removed": removed,
+        "total_seconds": round(total_seconds, 6),
+        "mean_round_ms": round(1000 * total_seconds / rounds, 3) if rounds else None,
+        "max_round_ms": round(1000 * max(round_seconds), 3) if round_seconds else None,
+        "chase_builds": stats.chase_builds,
+        "chase_increments": stats.chase_increments,
+        "incremental_fallbacks": stats.incremental_fallbacks,
+    }
+
+
 def _run(args: argparse.Namespace) -> int:
     omq_factory, generator, _ = WORKLOADS[args.workload]
     omq = omq_factory()
@@ -74,7 +155,12 @@ def _run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    engine = QueryEngine(omq.ontology, database, strict=not args.no_strict)
+    engine = QueryEngine(
+        omq.ontology,
+        database,
+        strict=not args.no_strict,
+        incremental=not args.no_incremental,
+    )
     prep_started = time.perf_counter()
     try:
         engine.warm([query for _, query in queries])
@@ -110,6 +196,13 @@ def _run(args: argparse.Namespace) -> int:
             }
         )
 
+    updates_report = None
+    if args.updates:
+        batch_size = args.update_size or max(1, len(database) // 100)
+        updates_report = _replay_updates(
+            engine, database, queries, args.updates, batch_size, args.seed
+        )
+
     stats = engine.stats
     report = {
         "workload": args.workload,
@@ -129,10 +222,14 @@ def _run(args: argparse.Namespace) -> int:
             "plan_hits": stats.plan_hits,
             "plan_misses": stats.plan_misses,
             "chase_builds": stats.chase_builds,
+            "chase_increments": stats.chase_increments,
+            "incremental_fallbacks": stats.incremental_fallbacks,
             "state_builds": stats.state_builds,
             "invalidations": stats.invalidations,
         },
     }
+    if updates_report is not None:
+        report["updates"] = updates_report
     if args.json:
         json.dump(report, sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -148,10 +245,23 @@ def _run(args: argparse.Namespace) -> int:
         print(f"  {entry['query']}/{entry['arity']}: {entry['answers']} answers")
         for sample in entry["sample"]:
             print(f"    {tuple(sample)}")
+    if updates_report is not None:
+        print(
+            f"updates: {updates_report['rounds']} rounds x "
+            f"{updates_report['batch_size']} facts "
+            f"(+{updates_report['facts_added']}/-{updates_report['facts_removed']}) "
+            f"in {updates_report['total_seconds'] * 1000:.1f} ms "
+            f"(mean {updates_report['mean_round_ms']} ms/round); "
+            f"{updates_report['chase_increments']} incremental, "
+            f"{updates_report['chase_builds']} rebuilds, "
+            f"{updates_report['incremental_fallbacks']} fallbacks"
+        )
     print(
         f"engine: {stats.plans_cached} plans cached "
         f"({stats.plan_hits} hits / {stats.plan_misses} misses), "
-        f"{stats.chase_builds} chase builds, {stats.state_builds} state builds"
+        f"{stats.chase_builds} chase builds, "
+        f"{stats.chase_increments} incremental updates, "
+        f"{stats.state_builds} state builds"
     )
     return 0
 
@@ -202,6 +312,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--show", type=int, default=0, help="sample answers to print")
     run.add_argument("--json", action="store_true", help="emit one JSON report")
+    run.add_argument(
+        "--updates",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay N random mutation batches against the warm engine",
+    )
+    run.add_argument(
+        "--update-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="facts per mutation batch (default: ~1%% of the database)",
+    )
+    run.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental maintenance (full rebuild per mutation)",
+    )
     run.add_argument(
         "--no-strict",
         action="store_true",

@@ -37,17 +37,49 @@ the instance mid-iteration.
     index maintenance.  Derived structures (the prepared-query engine's
     materializations, external caches) snapshot it and compare later to
     detect that their inputs changed, instead of subscribing to callbacks.
+
+Change log (databases)
+----------------------
+
+A :class:`Database` additionally keeps a bounded *mutation log* so that
+derived state can be maintained **incrementally** instead of rebuilt:
+
+``changes_since(version)``
+    The net :class:`~repro.incremental.delta.Delta` (facts added, facts
+    removed) between a previously snapshotted ``version`` and now, or
+    ``None`` when the log no longer reaches back that far (the caller then
+    falls back to a full rebuild).  Mutations that cancel out (add then
+    discard of the same fact) net to nothing.
+
+``batch()``
+    A context manager coalescing many mutations into **one** version step
+    and one delta: facts and indexes update immediately inside the batch
+    (direct reads — ``in``, ``relation()``, ``probe()`` — see the latest
+    state), but the version bump and the log entries are deferred to batch
+    exit, so a consumer polling ``changes_since`` sees a single atomic
+    delta.  Version-watching consumers (the engine's materializations)
+    therefore keep serving the pre-batch snapshot until the batch commits —
+    a batch is a transaction from their point of view.
+
+``add_facts(facts)``
+    Bulk insert: one batch, one version bump, one log flush — the loader
+    path, instead of per-fact version churn.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from collections.abc import Set as AbstractSet
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.data.facts import Fact
 from repro.data.schema import Schema
 from repro.data.terms import is_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.incremental.delta import Delta
 
 _EMPTY: frozenset = frozenset()
 _EMPTY_BUCKET: tuple = ()
@@ -88,6 +120,9 @@ class FactSetView(AbstractSet):
 class Instance:
     """A finite set of facts over constants and labelled nulls."""
 
+    #: Entries retained in the mutation log before the oldest half is dropped.
+    change_log_limit = 65_536
+
     def __init__(self, facts: Iterable[Fact] = ()):
         self._facts: set[Fact] = set()
         self._by_relation: dict[str, set[Fact]] = defaultdict(set)
@@ -97,6 +132,12 @@ class Instance:
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Fact]]] = {}
         self._indexes_by_relation: dict[str, list[tuple[int, ...]]] = defaultdict(list)
         self._version = 0
+        # Mutation log: (version-after, is_add, fact) triples, enabled for
+        # Database (None on plain chase instances, which nobody diffs).
+        self._change_log: list[tuple[int, bool, Fact]] | None = None
+        self._change_floor = 0
+        self._batch_depth = 0
+        self._batch_pending: list[tuple[bool, Fact]] = []
         for fact in facts:
             self.add(fact)
 
@@ -106,6 +147,23 @@ class Instance:
         return self._version
 
     # -- construction ----------------------------------------------------
+
+    def _record(self, is_add: bool, fact: Fact) -> None:
+        """Bump the version (or defer to batch exit) and log the mutation."""
+        if self._batch_depth:
+            self._batch_pending.append((is_add, fact))
+            return
+        self._version += 1
+        if self._change_log is not None:
+            self._change_log.append((self._version, is_add, fact))
+            self._trim_change_log()
+
+    def _trim_change_log(self) -> None:
+        log = self._change_log
+        if log is not None and len(log) > self.change_log_limit:
+            drop = len(log) // 2
+            self._change_floor = log[drop - 1][0]
+            del log[:drop]
 
     def add(self, fact: Fact) -> bool:
         """Add ``fact``; return True if it was not already present."""
@@ -117,7 +175,7 @@ class Instance:
             self._by_constant[arg].add(fact)
         for positions in self._indexes_by_relation.get(fact.relation, ()):
             self._index_insert(self._indexes[(fact.relation, positions)], positions, fact)
-        self._version += 1
+        self._record(True, fact)
         return True
 
     def update(self, facts: Iterable[Fact]) -> int:
@@ -127,6 +185,17 @@ class Instance:
             if self.add(fact):
                 added += 1
         return added
+
+    def add_facts(self, facts: Iterable[Fact]) -> int:
+        """Bulk insert: add many facts in one :meth:`batch`.
+
+        Indexes are maintained in a single pass and the version bumps once
+        for the whole load instead of once per fact, so derived-state
+        consumers (materializations, caches) observe one coalesced delta
+        rather than per-fact churn.  Returns how many facts were new.
+        """
+        with self.batch():
+            return sum(1 for fact in facts if self.add(fact))
 
     def discard(self, fact: Fact) -> bool:
         """Remove ``fact`` if present; return True if it was removed."""
@@ -144,8 +213,66 @@ class Instance:
                 del self._by_constant[arg]
         for positions in self._indexes_by_relation.get(fact.relation, ()):
             self._index_remove(self._indexes[(fact.relation, positions)], positions, fact)
-        self._version += 1
+        self._record(False, fact)
         return True
+
+    @contextmanager
+    def batch(self) -> Iterator["Instance"]:
+        """Coalesce the mutations inside the ``with`` block into one delta.
+
+        Facts and indexes change immediately (direct reads inside the batch
+        see the latest state), but the version bump and the change-log
+        entries are deferred until the outermost batch exits, so the whole
+        block appears to derived-state consumers as a single atomic
+        mutation.  The flip side: consumers that watch ``version`` — the
+        engine's materializations — treat the database as unchanged until
+        the batch commits, so querying an engine *inside* the block serves
+        the pre-batch snapshot.  Nested batches merge into the outermost
+        one.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_pending:
+                self._version += 1
+                if self._change_log is not None:
+                    version = self._version
+                    self._change_log.extend(
+                        (version, is_add, fact) for is_add, fact in self._batch_pending
+                    )
+                    self._trim_change_log()
+                self._batch_pending.clear()
+
+    def changes_since(self, version: int) -> "Delta | None":
+        """The net fact delta between ``version`` and now, or ``None``.
+
+        ``None`` means the delta cannot be reconstructed — this instance
+        keeps no change log, the log has been trimmed past ``version``, or
+        ``version`` is from the future — and the caller must fall back to a
+        full rebuild.  Mutations that cancel out net to nothing, so an empty
+        delta is possible even when the version moved.
+        """
+        from repro.incremental.delta import Delta
+
+        log = self._change_log
+        if log is None or version < self._change_floor or version > self._version:
+            return None
+        added: set[Fact] = set()
+        removed: set[Fact] = set()
+        start = bisect_right(log, version, key=lambda entry: entry[0])
+        for _, is_add, fact in log[start:]:
+            if is_add:
+                if fact in removed:
+                    removed.discard(fact)
+                else:
+                    added.add(fact)
+            elif fact in added:
+                added.discard(fact)
+            else:
+                removed.add(fact)
+        return Delta(added=frozenset(added), removed=frozenset(removed))
 
     @staticmethod
     def _index_key(positions: tuple[int, ...], fact: Fact) -> tuple | None:
@@ -323,7 +450,18 @@ class Instance:
 
 
 class Database(Instance):
-    """A finite instance using only constants (no labelled nulls)."""
+    """A finite instance using only constants (no labelled nulls).
+
+    Databases keep a mutation log (see the module docstring) so that the
+    incremental-maintenance subsystem can reconstruct the exact fact delta
+    between two version snapshots; the construction-time facts are below the
+    log floor (nothing existed to diff against before them).
+    """
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        super().__init__(facts)
+        self._change_log = []
+        self._change_floor = self._version
 
     def add(self, fact: Fact) -> bool:
         if fact.has_null():

@@ -49,13 +49,23 @@ QueryLike = "str | ConjunctiveQuery | OMQ | PreparedQuery"
 
 @dataclass(frozen=True)
 class EngineStats:
-    """A point-in-time snapshot of the engine's counters."""
+    """A point-in-time snapshot of the engine's counters.
+
+    ``chase_builds`` counts full chase (re)builds; ``chase_increments``
+    counts in-place incremental maintenance passes (delta chase + reduction
+    maintenance); ``incremental_fallbacks`` counts mutations a maintainable
+    materialization could not absorb — delta over the fallback threshold,
+    delta unreconstructable from the trimmed log, or a blown chase budget —
+    and that forced a rebuild instead.
+    """
 
     plans_cached: int
     plan_hits: int
     plan_misses: int
     plan_evictions: int
     chase_builds: int
+    chase_increments: int
+    incremental_fallbacks: int
     state_builds: int
     invalidations: int
     executions: int
@@ -134,10 +144,14 @@ class QueryEngine:
         plan_cache_size: int = 64,
         materialization_cache_size: int = 8,
         strict: bool = True,
+        incremental: bool = True,
+        incremental_fallback_ratio: float = 0.1,
     ) -> None:
         self.ontology = ontology
         self.ontology_fingerprint = ontology_fingerprint(ontology)
         self.strict = strict
+        self.incremental = incremental
+        self.incremental_fallback_ratio = incremental_fallback_ratio
         self._default_database = database
         self._plans: LRUCache[PreparedQuery] = LRUCache(plan_cache_size)
         # Bounded LRU over databases: evicting a live database only costs a
@@ -208,7 +222,11 @@ class QueryEngine:
         materialization = self._materializations.get(id(database))
         if materialization is None or materialization.database is not database:
             materialization = Materialization(
-                self.ontology, database, state_cache_size=self._plan_cache_size
+                self.ontology,
+                database,
+                state_cache_size=self._plan_cache_size,
+                incremental=self.incremental,
+                fallback_ratio=self.incremental_fallback_ratio,
             )
             self._materializations.put(id(database), materialization)
         return materialization
@@ -297,6 +315,10 @@ class QueryEngine:
                 plan_misses=self._plans.misses,
                 plan_evictions=self._plans.evictions,
                 chase_builds=sum(m.chase_builds for m in materializations),
+                chase_increments=sum(m.chase_increments for m in materializations),
+                incremental_fallbacks=sum(
+                    m.incremental_fallbacks for m in materializations
+                ),
                 state_builds=sum(m.state_builds for m in materializations),
                 invalidations=sum(m.invalidations for m in materializations),
                 executions=self._executions,

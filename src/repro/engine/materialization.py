@@ -11,11 +11,20 @@ for one ``(ontology, database)`` pair:
   and per-block indexes of the CD∘Lin enumerator, ready for constant-delay
   enumeration.
 
-Invalidation hooks into the mutation counter maintained by the positional
-index machinery of :class:`repro.data.Instance`: every effective
-``add``/``discard`` bumps ``Database.version``, and the materialization
-compares that counter against the snapshot taken at chase time before every
-use, dropping the chase and all query states when the database has moved on.
+Staleness detection hooks into the mutation counter maintained by
+:class:`repro.data.Instance`: every effective ``add``/``discard`` bumps
+``Database.version`` and the materialization compares that counter against
+the snapshot taken at chase time before every use.  What happens on a
+mismatch is no longer all-or-nothing: with ``incremental`` enabled (the
+default) the materialization asks the database's mutation log for the net
+delta since the snapshot and — when the delta is small enough relative to
+``fallback_ratio`` — applies it in place through the provenance-tracking
+delta chase (:class:`repro.incremental.ChaseMaintainer`) and the per-query
+reduction maintenance (:meth:`CDLinEnumerator.maintain`), leaving every
+untouched block index alive.  Deltas that are too large, unreconstructable
+(log trimmed), or that blow the chase budget fall back to the old behaviour:
+drop everything and rebuild (``chase_rebuilds`` counts those full builds,
+``chase_increments`` the in-place maintenance passes).
 
 Not thread-safe on its own: :class:`repro.engine.QueryEngine` serializes all
 calls through its lock and only the read-only enumeration phase runs outside
@@ -30,10 +39,12 @@ from typing import Iterator
 from repro.data.instance import Database
 from repro.data.terms import is_null
 from repro.chase.query_directed import QueryDirectedChase, query_directed_chase
+from repro.chase.standard import ChaseNotTerminating
 from repro.cq.homomorphism import evaluate
 from repro.enumeration.cdlin import CDLinEnumerator
 from repro.engine.cache import LRUCache
 from repro.engine.plan import PreparedQuery
+from repro.incremental.provenance import ChaseMaintainer
 from repro.tgds.ontology import Ontology
 
 
@@ -42,12 +53,15 @@ class MaterializedAnswers:
 
     Fallback for non-strict plans outside the acyclic ∧ free-connex class:
     no constant-delay guarantee, but cursors and batches work uniformly.
+    Answers are stored *sorted* so cursor and batch output is deterministic
+    across runs and processes (a plain ``frozenset`` iterates in hash order,
+    which varies under ``PYTHONHASHSEED``).
     """
 
     __slots__ = ("_answers",)
 
     def __init__(self, answers: set[tuple]) -> None:
-        self._answers = frozenset(answers)
+        self._answers = tuple(sorted(set(answers), key=repr))
 
     def is_empty(self) -> bool:
         return not self._answers
@@ -75,18 +89,37 @@ class Materialization:
     ``state_cache_size`` bounds the per-query states (an LRU mirroring the
     engine's plan cache) so a long-lived engine serving many distinct
     queries does not accumulate reduced relations without limit.
+
+    ``incremental`` enables in-place maintenance under database mutations;
+    ``fallback_ratio`` is the delta-size threshold (as a fraction of the
+    database) above which a full rebuild is cheaper than maintenance.
     """
 
     def __init__(
-        self, ontology: Ontology, database: Database, state_cache_size: int = 64
+        self,
+        ontology: Ontology,
+        database: Database,
+        state_cache_size: int = 64,
+        incremental: bool = True,
+        fallback_ratio: float = 0.1,
     ) -> None:
         self.ontology = ontology
         self.database = database
+        self.incremental = incremental
+        self.fallback_ratio = fallback_ratio
         self.chase: QueryDirectedChase | None = None
+        self._maintainer: ChaseMaintainer | None = None
         self._states: LRUCache[QueryState] = LRUCache(state_cache_size)
         self.chase_builds = 0
+        self.chase_increments = 0
+        self.incremental_fallbacks = 0
         self.state_builds = 0
         self.invalidations = 0
+
+    @property
+    def chase_rebuilds(self) -> int:
+        """Full chase (re)builds — the counter the update SLO watches."""
+        return self.chase_builds
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -108,17 +141,75 @@ class Materialization:
         }
 
     def revalidate(self) -> None:
-        """Drop all derived state if the database mutated since the chase."""
-        if self.chase is not None and not self.chase.is_current():
-            self.chase = None
-            self._states.clear()
-            self.invalidations += 1
+        """Re-sync derived state with the database if it mutated.
+
+        Tries incremental maintenance first (delta chase + per-state
+        reduction maintenance); falls back to dropping everything when the
+        delta is unavailable, too large, or blows the chase budget.
+        """
+        if self.chase is None or self.chase.is_current():
+            return
+        if self._apply_incremental():
+            return
+        self.chase = None
+        self._maintainer = None
+        self._states.clear()
+        self.invalidations += 1
+
+    def _apply_incremental(self) -> bool:
+        """Apply the pending database delta in place; False means rebuild.
+
+        Every False on a maintainable materialization counts as an
+        ``incremental_fallbacks`` tick: the delta was unreconstructable
+        (log trimmed), too large for ``fallback_ratio``, or blew the chase
+        budget mid-application.
+        """
+        if not self.incremental or self._maintainer is None or self.chase is None:
+            return False
+        delta = self.database.changes_since(self.chase.database_version)
+        if delta is None:
+            self.incremental_fallbacks += 1
+            return False
+        budget = max(1, int(self.fallback_ratio * len(self.database)))
+        if len(delta) > budget:
+            self.incremental_fallbacks += 1
+            return False
+        try:
+            chase_delta = self._maintainer.apply_delta(delta)
+        except ChaseNotTerminating:
+            # The instance may be half-updated: a full rebuild is mandatory.
+            self.incremental_fallbacks += 1
+            return False
+        self.chase.database_version = self.database.version
+        self.chase_increments += 1
+        touched = chase_delta.relations()
+        if touched:
+            for state in self._states.values():
+                self._refresh_state(state, touched)
+        return True
+
+    def _refresh_state(self, state: QueryState, touched: set[str]) -> None:
+        """Propagate a chase-level delta into one query's enumeration state."""
+        enumerator = state.enumerator
+        if isinstance(enumerator, CDLinEnumerator):
+            assert self.chase is not None
+            enumerator.maintain(self.chase.instance, touched)
+        else:
+            query_relations = {
+                atom.relation for atom in state.prepared.omq.query.atoms
+            }
+            if query_relations & touched:
+                assert self.chase is not None
+                state.enumerator = MaterializedAnswers(
+                    self._fallback_answers(state.prepared, self.chase)
+                )
 
     def invalidate(self) -> None:
         """Unconditionally drop the chase and every query state."""
         if self.chase is not None or self._states:
             self.invalidations += 1
         self.chase = None
+        self._maintainer = None
         self._states.clear()
 
     def chase_for(self, prepared: PreparedQuery) -> QueryDirectedChase:
@@ -129,13 +220,22 @@ class Materialization:
             depth = prepared.null_depth
             if self.chase is not None:
                 depth = max(depth, self.chase.null_depth_bound)
+            recorder = (
+                ChaseMaintainer(self.database, self.ontology, max_null_depth=depth)
+                if self.incremental
+                else None
+            )
             self.chase = query_directed_chase(
                 self.database,
                 self.ontology,
                 prepared.omq.query,
                 null_depth=depth,
                 reuse=self.chase,
+                recorder=recorder,
             )
+            if recorder is not None:
+                recorder.attach(self.chase.result)
+            self._maintainer = recorder
             self.chase_builds += 1
         return self.chase
 

@@ -16,7 +16,7 @@ from repro.data.instance import Instance
 from repro.data.terms import is_null
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.yannakakis.decomposition import decompose_free_connex
-from repro.enumeration.reduction import _component_projection
+from repro.enumeration.reduction import component_projection
 
 
 class FreeConnexAllTester:
@@ -33,7 +33,7 @@ class FreeConnexAllTester:
         self._empty = False
         self._component_sets: list[tuple[tuple[int, ...], set[tuple]]] = []
         for component in decomposition.components:
-            projection = _component_projection(component, instance, keep_nulls=False)
+            projection = component_projection(component, instance, keep_nulls=False)
             if projection is None:
                 self._empty = True
                 self._component_sets = []

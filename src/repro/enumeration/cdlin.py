@@ -11,13 +11,22 @@ on the query.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.data.instance import Instance
 from repro.cq.atoms import Atom, Variable
 from repro.cq.query import ConjunctiveQuery
-from repro.enumeration.reduction import ReducedQuery, build_reduced_query
-from repro.yannakakis.decomposition import FreeConnexDecomposition
+from repro.enumeration.reduction import (
+    ReducedQuery,
+    build_reduced_query,
+    component_projection,
+)
+from repro.yannakakis.decomposition import (
+    FreeConnexDecomposition,
+    decompose_free_connex,
+)
+from repro.yannakakis.relations import AtomRelation
+from repro.yannakakis.semijoin import reduce_and_diff
 
 
 class CDLinEnumerator:
@@ -38,6 +47,8 @@ class CDLinEnumerator:
     ) -> None:
         self.original_query = query
         self.deduplicated, self._head_positions = query.deduplicated_head()
+        self._keep_nulls = keep_nulls
+        self._decomposition = decomposition
         self.reduced: ReducedQuery = build_reduced_query(
             self.deduplicated,
             instance,
@@ -49,6 +60,17 @@ class CDLinEnumerator:
         self._shared: dict[Atom, tuple[Variable, ...]] = {}
         if not self.reduced.is_empty and self.reduced.join_tree is not None:
             self._prepare_indexes()
+        self._publish()
+
+    def _publish(self) -> None:
+        """Expose the enumerable state as one atomically swapped snapshot.
+
+        :meth:`enumerate` reads this single attribute once, so an in-flight
+        enumeration keeps a fully consistent view even when :meth:`maintain`
+        replaces several fields (maintenance always builds new containers
+        and publishes them last, never mutating published ones).
+        """
+        self._snapshot = (self.reduced, self._order, self._indexes, self._shared)
 
     # -- preprocessing ------------------------------------------------------
 
@@ -67,6 +89,95 @@ class CDLinEnumerator:
             self._shared[atom] = shared
             self._indexes[atom] = relation.index_on(shared)
 
+    # -- incremental maintenance --------------------------------------------
+
+    def _rebuild(self, instance: Instance) -> bool:
+        """Recompute the whole reduced state (reduction only, no chase)."""
+        self.reduced = build_reduced_query(
+            self.deduplicated,
+            instance,
+            keep_nulls=self._keep_nulls,
+            decomposition=self._decomposition,
+        )
+        self._order, self._indexes, self._shared = [], {}, {}
+        if not self.reduced.is_empty and self.reduced.join_tree is not None:
+            self._prepare_indexes()
+        self._publish()
+        return True
+
+    def _make_empty(self) -> bool:
+        """Collapse to the empty result (some component became unsatisfiable)."""
+        self.reduced = ReducedQuery(
+            self.reduced.query, self.reduced.head, [], None, {}, True, self._keep_nulls
+        )
+        self._order, self._indexes, self._shared = [], {}, {}
+        self._publish()
+        return True
+
+    def maintain(self, instance: Instance, touched_relations: Iterable[str]) -> bool:
+        """Refresh the reduced state in place after ``instance`` mutated.
+
+        ``touched_relations`` names the relation symbols of the facts that
+        changed.  Only the components whose atoms mention a touched relation
+        recompute their projection; every other block keeps its rows *and*
+        its cached per-block indexes, and the cross-block full reducer is
+        replayed over the cached unreduced projections so global consistency
+        (the constant-delay progress condition) is restored exactly.
+        Returns True when the enumerable state may have changed.
+        """
+        touched = set(touched_relations)
+        if self._decomposition is None:
+            self._decomposition = decompose_free_connex(self.deduplicated)
+        if self.reduced.is_empty:
+            # No per-block state survives emptiness; rebuild the reduction.
+            return self._rebuild(instance)
+        # Boolean components left no block behind: re-check satisfiability.
+        for component in self._decomposition.components:
+            if component.answer_variables:
+                continue
+            if not ({atom.relation for atom in component.atoms} & touched):
+                continue
+            if component_projection(component, instance, self._keep_nulls) is None:
+                return self._make_empty()
+        pending: dict[Atom, set] = {}
+        for block in self.reduced.blocks:
+            if not ({atom.relation for atom in block.component.atoms} & touched):
+                continue
+            projection = component_projection(
+                block.component, instance, self._keep_nulls
+            )
+            if projection is None:
+                return self._make_empty()
+            if projection != block.projection:
+                block.projection = projection
+                pending[block.atom] = projection
+        if not pending:
+            return False
+        fresh = {
+            block.atom: AtomRelation(block.atom, block.variables, block.projection)
+            for block in self.reduced.blocks
+        }
+        assert self.reduced.join_tree is not None
+        changed = reduce_and_diff(self.reduced.join_tree, fresh, self.reduced.relations)
+        if any(relation.is_empty() for relation in fresh.values()):
+            # The full reducer clears everything when the join is empty.
+            return self._make_empty()
+        # Copy-on-write: never mutate the dicts a running enumeration may
+        # have captured — build updated copies and swap the references, so
+        # in-flight cursors finish over the consistent pre-delta snapshot.
+        relations = dict(self.reduced.relations)
+        indexes = dict(self._indexes)
+        for atom in changed:
+            relation = fresh[atom]
+            relations[atom] = relation
+            self.reduced.block_for(atom).relation = relation
+            if self._order:
+                indexes[atom] = relation.index_on(self._shared[atom])
+        self.reduced.relations = relations
+        self._indexes = indexes
+        self._publish()
+        return bool(changed)
+
     # -- enumeration ---------------------------------------------------------
 
     def is_empty(self) -> bool:
@@ -81,24 +192,31 @@ class CDLinEnumerator:
         return self.enumerate()
 
     def enumerate(self) -> Iterator[tuple]:
-        """Enumerate ``q(D)`` without repetition."""
-        if self.reduced.is_empty:
+        """Enumerate ``q(D)`` without repetition.
+
+        The whole enumerable state is read through one snapshot attribute
+        (a single atomic reference), so an in-flight enumeration keeps a
+        consistent view even if :meth:`maintain` publishes updated state
+        concurrently (maintenance replaces containers instead of mutating
+        them).
+        """
+        reduced, order, indexes, all_shared = self._snapshot
+        if reduced.is_empty:
             return
-        if not self._order:
+        if not order:
             yield ()
             return
 
-        order = self._order
-        relations = self.reduced.relations
+        relations = reduced.relations
 
         def walk(position: int, assignment: dict[Variable, object]) -> Iterator[tuple]:
             if position == len(order):
                 yield self._emit(assignment)
                 return
             atom = order[position]
-            shared = self._shared[atom]
+            shared = all_shared[atom]
             key = tuple(assignment[v] for v in shared)
-            for row in self._indexes[atom].get(key, ()):
+            for row in indexes[atom].get(key, ()):
                 extension = dict(assignment)
                 extension.update(zip(relations[atom].variables, row))
                 yield from walk(position + 1, extension)

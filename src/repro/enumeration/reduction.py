@@ -47,12 +47,19 @@ from repro.yannakakis.semijoin import bottom_up_pass, full_reducer
 
 @dataclass
 class Block:
-    """One block atom ``B_i(ȳ_i)`` of the reduced query."""
+    """One block atom ``B_i(ȳ_i)`` of the reduced query.
+
+    ``projection`` caches the component's *unreduced* projection (before the
+    cross-block full reducer ran); the incremental enumeration-state
+    maintenance recomputes it only for components whose relations a delta
+    touched and replays the reducer over the cached rest.
+    """
 
     atom: Atom
     variables: tuple[Variable, ...]
     component: Component
     relation: AtomRelation = field(repr=False, default=None)
+    projection: set = field(repr=False, default_factory=set)
 
 
 @dataclass
@@ -77,7 +84,7 @@ class ReducedQuery:
         return sum(len(rel) for rel in self.relations.values())
 
 
-def _component_projection(
+def component_projection(
     component: Component, instance: Instance, keep_nulls: bool
 ) -> set[tuple] | None:
     """Project a component's satisfying assignments onto its answer variables.
@@ -134,7 +141,7 @@ def build_reduced_query(
     relations: dict[Atom, AtomRelation] = {}
     is_empty = False
     for index, component in enumerate(decomposition.components):
-        projection = _component_projection(component, instance, keep_nulls)
+        projection = component_projection(component, instance, keep_nulls)
         if projection is None:
             is_empty = True
             break
@@ -151,6 +158,7 @@ def build_reduced_query(
             variables=tuple(component.answer_variables),
             component=component,
             relation=relation,
+            projection=projection,
         )
         blocks.append(block)
         relations[block_atom] = relation

@@ -1,0 +1,24 @@
+"""Incremental maintenance: keep engine materializations valid under updates.
+
+The subsystem has three layers, threaded through the rest of the stack:
+
+* :mod:`repro.incremental.delta` — net fact deltas, produced by the
+  database mutation log (``Database.changes_since`` / ``Database.batch``);
+* :mod:`repro.incremental.provenance` — the provenance-tracking delta
+  chase: semi-naive insertion seeded with only the new facts, DRed-style
+  over-delete + re-derive for deletions;
+* the reduction maintenance in :meth:`repro.enumeration.cdlin.
+  CDLinEnumerator.maintain` (with :func:`repro.yannakakis.semijoin.
+  reduce_and_diff`), which replays the Yannakakis passes over cached
+  unreduced block projections and rebuilds only the touched blocks.
+
+:class:`repro.engine.materialization.Materialization` wires them together:
+on revalidation it asks the database for the delta since its chase
+snapshot and, when the delta is small enough (``fallback_ratio``), applies
+it in place instead of dropping the chase and every query state.
+"""
+
+from repro.incremental.delta import Delta
+from repro.incremental.provenance import ChaseMaintainer, Firing, Suppressed
+
+__all__ = ["ChaseMaintainer", "Delta", "Firing", "Suppressed"]

@@ -1,0 +1,40 @@
+"""Fact deltas: the currency of the incremental-maintenance subsystem.
+
+A :class:`Delta` is the *net* difference between two database versions —
+facts present now but not then (``added``) and facts present then but not
+now (``removed``).  :meth:`repro.data.instance.Instance.changes_since`
+produces them from the mutation log; :class:`repro.incremental.provenance.
+ChaseMaintainer` consumes them and emits a second, chase-level delta that
+the enumeration-state maintenance propagates further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.facts import Fact
+
+_EMPTY: frozenset[Fact] = frozenset()
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A net set of database mutations between two version snapshots."""
+
+    added: frozenset[Fact] = _EMPTY
+    removed: frozenset[Fact] = _EMPTY
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+    def relations(self) -> set[str]:
+        """Every relation symbol touched by the delta."""
+        return {fact.relation for fact in self.added} | {
+            fact.relation for fact in self.removed
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Delta(+{len(self.added)}, -{len(self.removed)})"

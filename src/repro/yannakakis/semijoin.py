@@ -66,3 +66,24 @@ def full_reducer(tree: JoinTree, relations: dict[Atom, AtomRelation]) -> None:
     if any(relation.is_empty() for relation in relations.values()):
         for relation in relations.values():
             relation.clear()
+
+
+def reduce_and_diff(
+    tree: JoinTree,
+    relations: dict[Atom, AtomRelation],
+    previous: dict[Atom, AtomRelation],
+) -> set[Atom]:
+    """Run the full reducer on ``relations`` and diff against ``previous``.
+
+    Returns the atoms whose globally consistent row sets differ from the
+    (already reduced) relations in ``previous``.  The incremental
+    enumeration-state maintenance uses this to rebuild per-block indexes
+    only where the join-tree node actually changed, keeping every untouched
+    block's cached indexes alive.
+    """
+    full_reducer(tree, relations)
+    return {
+        atom
+        for atom, relation in relations.items()
+        if relation.tuples != previous[atom].tuples
+    }

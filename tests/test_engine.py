@@ -203,7 +203,9 @@ class TestExecution:
 
 
 class TestInvalidation:
-    def test_add_invalidates_materialized_state(self, univ_omq, univ_db, engine):
+    def test_add_maintains_materialized_state_incrementally(
+        self, univ_omq, univ_db, engine
+    ):
         before = engine.execute(univ_omq.query)
         univ_db.add(Fact("HasAdvisor", ("newstudent", "prof0")))
         univ_db.add(Fact("WorksFor", ("prof0", "dept0")))
@@ -211,16 +213,44 @@ class TestInvalidation:
         assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
         assert ("newstudent", "prof0", "dept0") in after
         assert after != before
+        # A small delta is maintained in place: no rebuild, no invalidation.
+        stats = engine.stats
+        assert stats.chase_builds == 1
+        assert stats.chase_increments >= 1
+        assert stats.invalidations == 0
+
+    def test_add_invalidates_without_incremental(self, univ_omq, univ_db):
+        engine = QueryEngine(univ_omq.ontology, univ_db, incremental=False)
+        before = engine.execute(univ_omq.query)
+        univ_db.add(Fact("HasAdvisor", ("newstudent", "prof0")))
+        univ_db.add(Fact("WorksFor", ("prof0", "dept0")))
+        after = engine.execute(univ_omq.query)
+        assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
+        assert after != before
         assert engine.stats.invalidations >= 1
         assert engine.stats.chase_builds == 2
 
-    def test_discard_invalidates_materialized_state(self, univ_omq, univ_db, engine):
+    def test_discard_maintains_materialized_state(self, univ_omq, univ_db, engine):
         fact = next(iter(univ_db.relation("HasAdvisor")))
         before = engine.execute(univ_omq.query)
         assert univ_db.discard(fact)
         after = engine.execute(univ_omq.query)
         assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
         assert after <= before
+        assert engine.stats.chase_builds == 1
+        assert engine.stats.chase_increments == 1
+
+    def test_large_delta_falls_back_to_rebuild(self, univ_omq, univ_db, engine):
+        engine.execute(univ_omq.query)
+        with univ_db.batch():
+            for index in range(len(univ_db)):
+                univ_db.add(Fact("GradStudent", (f"bulk{index}",)))
+        after = engine.execute(univ_omq.query)
+        assert after == set(CompleteAnswerEnumerator(univ_omq, univ_db))
+        stats = engine.stats
+        assert stats.incremental_fallbacks == 1
+        assert stats.chase_builds == 2
+        assert stats.chase_increments == 0
 
     def test_noop_mutation_keeps_state(self, univ_omq, univ_db, engine):
         engine.execute(univ_omq.query)
@@ -358,6 +388,52 @@ class TestCLI:
         report = json.loads(capsys.readouterr().out)
         assert report["mode"] == "batch"
         assert report["queries"] == 1
+
+    def test_run_updates_replay(self, capsys):
+        exit_code = cli_main(
+            [
+                "run",
+                "--workload",
+                "university",
+                "--size",
+                "60",
+                "--updates",
+                "4",
+                "--update-size",
+                "2",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        updates = report["updates"]
+        assert updates["rounds"] == 4
+        assert updates["batch_size"] == 2
+        assert updates["chase_increments"] == 4
+        assert updates["chase_builds"] == 1
+        assert report["engine"]["invalidations"] == 0
+
+    def test_run_updates_no_incremental_rebuilds(self, capsys):
+        exit_code = cli_main(
+            [
+                "run",
+                "--workload",
+                "university",
+                "--size",
+                "60",
+                "--updates",
+                "3",
+                "--update-size",
+                "2",
+                "--no-incremental",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)
+        updates = report["updates"]
+        assert updates["chase_increments"] == 0
+        assert updates["chase_builds"] == 4  # warm build + one per round
 
     def test_workloads_listing(self, capsys):
         assert cli_main(["workloads"]) == 0
