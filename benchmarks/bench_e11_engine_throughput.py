@@ -17,9 +17,8 @@ from repro.core import OMQ, CompleteAnswerEnumerator
 from repro.cq.parser import parse_query
 from repro.engine import QueryEngine
 from repro.workloads import (
-    generate_office_database,
     generate_university_database,
-    office_omq,
+    get_workload,
     university_omq,
 )
 
@@ -78,12 +77,16 @@ def _batch_workload(database, repeats):
     return baseline_seconds, engine_seconds
 
 
-def _sweep(omq_factory, generator, label, repeats=REPEATS):
-    omq = omq_factory()
+def _sweep(workload_name, repeats=REPEATS):
+    """Sweep one registry workload (resolved by name) over SIZES."""
+    workload = get_workload(workload_name)
+    label = workload.name
     rows = []
     worst_speedup = float("inf")
     for size in SIZES:
-        database = generator(size, seed=size)
+        scenario = workload.scenario(size=size, seed=size)
+        omq = OMQ.from_parts(scenario.ontology, scenario.queries[0], name=label)
+        database = scenario.database
         baseline_seconds, engine_seconds, answers = _repeated_workload(
             omq, database, repeats
         )
@@ -116,26 +119,23 @@ def _sweep(omq_factory, generator, label, repeats=REPEATS):
     return worst_speedup
 
 
-def test_e11_repeated_university(benchmark):
-    worst = _sweep(university_omq, generate_university_database, "university")
+def _benchmark_workload(benchmark, workload_name):
+    worst = _sweep(workload_name)
     assert worst >= 2.0, f"engine must be >= 2x fresh enumerators, got {worst:.2f}x"
 
-    omq = university_omq()
-    database = generate_university_database(800, seed=800)
-    engine = QueryEngine(omq.ontology, database)
-    engine.execute(omq.query)
-    benchmark(lambda: engine.execute(omq.query))
+    scenario = get_workload(workload_name).scenario(size=800, seed=800)
+    engine = QueryEngine(scenario.ontology, scenario.database)
+    query = scenario.queries[0]
+    engine.execute(query)
+    benchmark(lambda: engine.execute(query))
+
+
+def test_e11_repeated_university(benchmark):
+    _benchmark_workload(benchmark, "university")
 
 
 def test_e11_repeated_office(benchmark):
-    worst = _sweep(office_omq, generate_office_database, "office")
-    assert worst >= 2.0, f"engine must be >= 2x fresh enumerators, got {worst:.2f}x"
-
-    omq = office_omq()
-    database = generate_office_database(800, seed=800)
-    engine = QueryEngine(omq.ontology, database)
-    engine.execute(omq.query)
-    benchmark(lambda: engine.execute(omq.query))
+    _benchmark_workload(benchmark, "office")
 
 
 def test_e11_batch_university(benchmark):

@@ -1,0 +1,61 @@
+"""File-based workloads: load DLGP rules + CSV data, serve, round-trip.
+
+Shows the three ways into the file frontend:
+
+1. ``load_scenario`` — parse rule/data/query files into a Scenario,
+2. ``QueryEngine.from_files`` — one call from paths to a warm engine,
+3. ``get_workload`` — the registry treats a path (or the registered
+   ``demo`` name) like any built-in generator,
+
+and finally dumps a synthetic workload to a temporary directory and reloads
+it, checking that the answers survive the round trip byte for byte.
+
+Run with:  python examples/file_workloads.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import QueryEngine, dump_scenario, get_workload, load_scenario
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def main() -> None:
+    rules = sorted(DATA_DIR.glob("*.dlgp"))
+    data = sorted(DATA_DIR.glob("*.csv"))
+
+    # 1. Parse the shipped demo files into a scenario and serve it.
+    scenario = load_scenario(rules=rules, data=data, name="office-demo")
+    print(f"scenario {scenario.name}: {len(scenario.database)} facts, "
+          f"{len(scenario.ontology)} rules, {len(scenario.queries)} queries")
+    engine = scenario.engine()
+    for query in scenario.queries:
+        answers = engine.execute(query)
+        print(f"  {query.name}/{query.arity}: {len(answers)} answers, "
+              f"e.g. {min(answers)}")
+
+    # 2. The same thing in one call (embedded queries are warmed eagerly).
+    engine = QueryEngine.from_files(rules=rules, data=data)
+    print("from_files:", engine.stats.plans_cached, "plans warmed")
+
+    # 3. Through the registry: a path works wherever a name does.
+    workload = get_workload(str(DATA_DIR))
+    print("registry:", workload.description)
+
+    # Round trip: dump the university generator to disk, reload, compare.
+    university = get_workload("university").scenario(size=120, seed=3)
+    with tempfile.TemporaryDirectory() as tmp:
+        dump_scenario(university, tmp, data_format="csv")
+        reloaded = load_scenario(
+            rules=[Path(tmp) / "rules.dlgp", Path(tmp) / "queries.dlgp"],
+            data=sorted(Path(tmp).glob("*.csv")),
+        )
+        original = university.engine().execute(university.queries[0])
+        recovered = reloaded.engine().execute(reloaded.queries[0])
+        assert original == recovered, "answers must survive the round trip"
+        print(f"round trip: {len(recovered)} university answers identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,8 @@
 A from-scratch Python reproduction of Lutz & Przybylko, "Efficiently
 Enumerating Answers to Ontology-Mediated Queries" (PODS 2022).  The public
 API re-exports the most commonly used classes; see ``README.md`` for a tour
-and ``DESIGN.md`` for the system inventory.
+and the ``docs/`` tree (``docs/architecture.md`` in particular) for the
+layer-by-layer walkthrough.
 """
 
 from repro.data import Database, Fact, Instance, Schema
@@ -12,6 +13,15 @@ from repro.tgds import TGD, Ontology, parse_ontology, parse_tgd
 from repro.chase import chase, query_directed_chase
 from repro.engine import PreparedQuery, QueryEngine, prepare_query
 from repro.incremental import ChaseMaintainer, Delta
+from repro.io import (
+    Scenario,
+    dump_scenario,
+    load_database,
+    load_ontology,
+    load_queries,
+    load_scenario,
+)
+from repro.workloads import get_workload, list_workloads
 
 __all__ = [
     "Atom",
@@ -24,10 +34,18 @@ __all__ = [
     "Ontology",
     "PreparedQuery",
     "QueryEngine",
+    "Scenario",
     "Schema",
     "TGD",
     "Variable",
     "chase",
+    "dump_scenario",
+    "get_workload",
+    "list_workloads",
+    "load_database",
+    "load_ontology",
+    "load_queries",
+    "load_scenario",
     "parse_ontology",
     "parse_query",
     "parse_tgd",

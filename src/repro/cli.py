@@ -4,16 +4,26 @@ Runs prepared-query workloads through :class:`repro.engine.QueryEngine`::
 
     repro run --workload university --size 400 --repeat 100 --json
     repro run --workload office --queries q1.cq q2.cq --batch
+    repro run --rules rules.dlgp --data Edge.csv --queries queries.dlgp
     repro run --workload university --updates 20 --update-size 5 --json
+    repro convert --workload office --size 50 --out office-dump
     repro workloads
 
-``run`` builds the workload's synthetic database, prepares every query once,
+``run`` resolves a scenario — a registry workload (``--workload``, a name
+from ``repro workloads`` or a path to DLGP/CSV files) or explicit
+``--rules`` / ``--data`` / ``--queries`` files — prepares every query once,
 executes them ``--repeat`` times (sequentially, or as engine batches with
 ``--batch``), and reports per-query answer counts, wall-clock timings and the
 engine's cache statistics — as a table, or as one JSON document with
-``--json``.  Query files contain a single Datalog-style query
-(``q(x, y) :- R(x, z), S(z, y)``); without ``--queries`` the workload's
-canonical query is used.
+``--json``.  Query files are DLGP documents (``.dlgp``, possibly holding
+many queries) or single Datalog-style queries
+(``q(x, y) :- R(x, z), S(z, y)``); without ``--queries`` the scenario's own
+queries are used.
+
+``convert`` writes any scenario back to disk as ``rules.dlgp`` +
+``queries.dlgp`` + data files (CSV/TSV per relation, or one DLGP facts
+document) — the dump/reload pair behind the round-trip guarantees of
+``docs/formats.md``.
 
 ``--updates N`` appends a *live-update replay*: N rounds, each applying one
 ``Database.batch()`` of random schema-shaped insertions and deletions
@@ -22,6 +32,8 @@ re-executing every query on the warm engine.  The report shows how many
 rounds the incremental subsystem served in place (``chase_increments``)
 versus full rebuilds; ``--no-incremental`` forces the rebuild path for
 comparison.
+
+Every subcommand and flag is documented in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -32,46 +44,59 @@ import random
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.data.facts import Fact
 from repro.data.instance import Database
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
-from repro.core.omq import OMQ
 from repro.engine import QueryEngine
-from repro.workloads import (
-    generate_office_database,
-    generate_university_database,
-    office_omq,
-    university_omq,
-)
-
-WORKLOADS: dict[str, tuple[Callable[[], OMQ], Callable[..., Database], str]] = {
-    "university": (
-        university_omq,
-        generate_university_database,
-        "LUBM-flavoured students/advisors/departments over an ELI ontology",
-    ),
-    "office": (
-        office_omq,
-        generate_office_database,
-        "Example 1.1: researchers, offices and buildings",
-    ),
-}
+from repro.io import Scenario, dump_scenario, load_queries, load_scenario
+from repro.workloads import get_workload, list_workloads
 
 
-def _load_queries(
-    paths: Sequence[str], inline: Sequence[str], default: ConjunctiveQuery
+def _resolve_scenario(args: argparse.Namespace) -> Scenario:
+    """The scenario named by ``--workload`` or assembled from file flags."""
+    if args.rules or args.data:
+        if args.workload is not None:
+            raise ValueError("pass either --workload or --rules/--data, not both")
+        return load_scenario(rules=args.rules, data=args.data)
+    workload = get_workload(args.workload or "university")
+    if not workload.scalable and args.size is not None:
+        print(
+            f"note: workload {workload.name!r} is file-backed; --size ignored",
+            file=sys.stderr,
+        )
+    size = args.size if args.size is not None else 300
+    # Reflect the effective scale back so reports show the size actually
+    # used (or None for file-backed workloads, where it is meaningless).
+    args.size = size if workload.scalable else None
+    return workload.scenario(size=size, seed=args.seed)
+
+
+def _load_query_file(path: Path) -> list[tuple[str, ConjunctiveQuery]]:
+    """Queries of one ``--queries`` file: a DLGP document or a single CQ."""
+    if path.suffix.lower() == ".dlgp":
+        return [(f"{path.name}:{query.name}", query) for query in load_queries(path)]
+    text = path.read_text(encoding="utf-8").strip()
+    return [(path.name, parse_query(text))]
+
+
+def _resolve_queries(
+    paths: Sequence[str], inline: Sequence[str], scenario: Scenario
 ) -> list[tuple[str, ConjunctiveQuery]]:
     queries: list[tuple[str, ConjunctiveQuery]] = []
     for path in paths:
-        text = Path(path).read_text(encoding="utf-8").strip()
-        queries.append((Path(path).name, parse_query(text)))
+        queries.extend(_load_query_file(Path(path)))
     for index, text in enumerate(inline):
         queries.append((f"inline{index}", parse_query(text)))
     if not queries:
-        queries.append((default.name, default))
+        queries.extend((query.name, query) for query in scenario.queries)
+    if not queries:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares no queries; "
+            "pass --queries or --inline"
+        )
     return queries
 
 
@@ -146,17 +171,16 @@ def _replay_updates(
 
 
 def _run(args: argparse.Namespace) -> int:
-    omq_factory, generator, _ = WORKLOADS[args.workload]
-    omq = omq_factory()
-    database = generator(args.size, seed=args.seed)
     try:
-        queries = _load_queries(args.queries, args.inline, omq.query)
-    except (OSError, QueryError) as exc:
+        scenario = _resolve_scenario(args)
+        queries = _resolve_queries(args.queries, args.inline, scenario)
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    database = scenario.database
 
     engine = QueryEngine(
-        omq.ontology,
+        scenario.ontology,
         database,
         strict=not args.no_strict,
         incremental=not args.no_incremental,
@@ -205,7 +229,9 @@ def _run(args: argparse.Namespace) -> int:
 
     stats = engine.stats
     report = {
-        "workload": args.workload,
+        "workload": args.workload or ("files" if (args.rules or args.data) else "university"),
+        "scenario": scenario.name,
+        "sources": list(scenario.sources),
         "size": args.size,
         "seed": args.seed,
         "db_facts": len(database),
@@ -235,7 +261,8 @@ def _run(args: argparse.Namespace) -> int:
         sys.stdout.write("\n")
         return 0
 
-    print(f"workload {args.workload}: {len(database)} facts (size={args.size}, seed={args.seed})")
+    scale = f"size={args.size}, seed={args.seed}" if args.size is not None else f"seed={args.seed}"
+    print(f"scenario {scenario.name}: {len(database)} facts ({scale})")
     print(
         f"prepared {len(queries)} queries in {prep_seconds * 1000:.1f} ms; "
         f"executed {executed} in {exec_seconds * 1000:.1f} ms "
@@ -268,9 +295,82 @@ def _run(args: argparse.Namespace) -> int:
 
 def _workloads(args: argparse.Namespace) -> int:
     del args
-    for name, (_, _, description) in sorted(WORKLOADS.items()):
-        print(f"{name:12s} {description}")
+    for name, workload in list_workloads().items():
+        kind = "generator " if workload.scalable else "file-based"
+        print(f"{name:12s} {kind}  {workload.description}")
     return 0
+
+
+def _convert(args: argparse.Namespace) -> int:
+    try:
+        scenario = _resolve_scenario(args)
+        if args.queries or args.inline:
+            named = _resolve_queries(args.queries, args.inline, scenario)
+            scenario = Scenario(
+                ontology=scenario.ontology,
+                database=scenario.database,
+                queries=tuple(query for _, query in named),
+                name=scenario.name,
+                sources=scenario.sources,
+            )
+        written = dump_scenario(scenario, args.out, data_format=args.data_format)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in written:
+        print(path)
+    return 0
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flags every subcommand uses to resolve a scenario."""
+    parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help=(
+            "registry workload name (see `repro workloads`) or a path to "
+            "DLGP/CSV files; default: university"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=[],
+        metavar="FILE.dlgp",
+        help="DLGP rule files (embedded @queries/@facts sections are used too)",
+    )
+    parser.add_argument(
+        "--data",
+        nargs="+",
+        default=[],
+        metavar="FILE",
+        help="data files: .csv/.tsv (one relation per file) or .dlgp facts",
+    )
+    parser.add_argument(
+        "--queries",
+        nargs="*",
+        default=[],
+        metavar="FILE",
+        help=(
+            "query files: .dlgp documents (any number of queries) or files "
+            "holding one Datalog-style query"
+        ),
+    )
+    parser.add_argument(
+        "--inline",
+        nargs="*",
+        default=[],
+        metavar="QUERY",
+        help="queries given directly on the command line",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="database scale factor for generator workloads (default: 300)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,23 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="run queries through the QueryEngine")
-    run.add_argument("--workload", choices=sorted(WORKLOADS), default="university")
-    run.add_argument("--size", type=int, default=300, help="database scale factor")
-    run.add_argument("--seed", type=int, default=0, help="generator seed")
-    run.add_argument(
-        "--queries",
-        nargs="*",
-        default=[],
-        metavar="FILE.cq",
-        help="files each holding one Datalog-style query",
-    )
-    run.add_argument(
-        "--inline",
-        nargs="*",
-        default=[],
-        metavar="QUERY",
-        help="queries given directly on the command line",
-    )
+    _add_scenario_arguments(run)
     run.add_argument("--repeat", type=int, default=1, help="executions per query")
     run.add_argument(
         "--batch",
@@ -341,7 +425,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_run)
 
-    workloads = subparsers.add_parser("workloads", help="list built-in workloads")
+    convert = subparsers.add_parser(
+        "convert",
+        help="dump a scenario to rules.dlgp + queries.dlgp + data files",
+    )
+    _add_scenario_arguments(convert)
+    convert.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory (created if missing)",
+    )
+    convert.add_argument(
+        "--data-format",
+        choices=("csv", "tsv", "dlgp"),
+        default="csv",
+        help="how to serialize the database (default: csv, one file per relation)",
+    )
+    convert.set_defaults(func=_convert)
+
+    workloads = subparsers.add_parser(
+        "workloads", help="list registered workloads (generators and file-based)"
+    )
     workloads.set_defaults(func=_workloads)
     return parser
 

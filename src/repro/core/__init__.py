@@ -1,4 +1,20 @@
-"""The paper's core contribution: OMQ testing and constant-delay enumeration."""
+"""The paper's core contribution: OMQ testing and constant-delay enumeration.
+
+Module-to-paper map:
+
+* :mod:`repro.core.omq` — OMQs ``(O, S, q)`` and evaluation through the
+  query-directed chase (Lemma 3.2);
+* :mod:`repro.core.enumeration` — complete-answer enumeration in CD∘Lin
+  (Theorem 4.1(1));
+* :mod:`repro.core.testing` — single-testing (Theorem 3.1) and
+  all-testing (Theorem 4.1(2) via Proposition 4.2);
+* :mod:`repro.core.wildcards` — partial answers, wildcard orders, balls
+  and cones (Sections 2 and 6);
+* :mod:`repro.core.progress` — minimal partial answers with a single
+  wildcard, DelayClin (Algorithm 1, Theorem 5.2);
+* :mod:`repro.core.multiwildcard` — minimal partial answers with
+  multi-wildcards (Algorithm 2, Theorem 6.1).
+"""
 
 from repro.core.omq import OMQ
 from repro.core.wildcards import (

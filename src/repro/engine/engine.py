@@ -171,6 +171,46 @@ class QueryEngine:
             f"{len(self._materializations)} materializations)"
         )
 
+    # -- construction from parsed artifacts --------------------------------
+
+    @classmethod
+    def from_scenario(cls, scenario, *, warm: bool = True, **kwargs) -> "QueryEngine":
+        """An engine over a :class:`repro.io.Scenario`'s ontology and database.
+
+        With ``warm`` (the default) every query the scenario declares is
+        prepared and materialized eagerly, so the first ``execute`` pays
+        nothing but the enumeration phase.
+        """
+        engine = cls(scenario.ontology, scenario.database, **kwargs)
+        if warm and scenario.queries:
+            engine.warm(scenario.queries)
+        return engine
+
+    @classmethod
+    def from_files(
+        cls,
+        rules,
+        data=(),
+        queries=(),
+        *,
+        warm: bool = True,
+        **kwargs,
+    ) -> "QueryEngine":
+        """An engine built straight from DLGP/CSV files on disk.
+
+        ``rules``, ``data`` and ``queries`` follow
+        :func:`repro.io.load_scenario` (paths or lists of paths); queries
+        embedded in the rule files are warmed too.  Use ``load_scenario``
+        directly when you also need the parsed query objects.
+        """
+        from repro.io import load_scenario
+
+        return cls.from_scenario(
+            load_scenario(rules=rules, data=data, queries=queries),
+            warm=warm,
+            **kwargs,
+        )
+
     # -- plan compilation --------------------------------------------------
 
     def _coerce_query(self, query: QueryLike) -> ConjunctiveQuery:

@@ -1,4 +1,18 @@
-"""Constant-delay enumeration and all-testing for plain CQs (no ontology)."""
+"""Constant-delay enumeration and all-testing for plain CQs (no ontology).
+
+The CQ-level machinery behind the paper's Theorem 4.1:
+
+* :mod:`repro.enumeration.reduction` — the Section 5 preprocessing
+  (conditions (i)–(iv)): reduce an acyclic, free-connex CQ to a full,
+  globally consistent join over block relations, in linear time;
+* :mod:`repro.enumeration.cdlin` — the CD∘Lin constant-delay walk over the
+  reduced query (Theorem 4.1(1));
+* :mod:`repro.enumeration.alltesting` — all-testing for free-connex
+  acyclic CQs (Proposition 4.2, behind Theorem 4.1(2)).
+
+The OMQ lift — evaluating over the query-directed chase and restricting to
+database constants (Lemma 3.2) — lives in :mod:`repro.core`.
+"""
 
 from repro.enumeration.reduction import Block, ReducedQuery, build_reduced_query
 from repro.enumeration.cdlin import CDLinEnumerator, enumerate_answers

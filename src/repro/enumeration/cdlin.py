@@ -1,12 +1,19 @@
 """CD∘Lin enumeration of complete answers to acyclic, free-connex CQs.
 
-The enumerator has the two phases of the paper's model: a *preprocessing*
-phase (building the reduced query of :mod:`repro.enumeration.reduction` and
-per-block indexes, in time linear in the data) and an *enumeration* phase
-that walks the block join tree in preorder.  Global consistency of the block
-relations guarantees that the walk never backtracks past an atom without
-producing an answer, so the delay between consecutive answers depends only
-on the query.
+This is the CQ half of Theorem 4.1(1): for acyclic, free-connex acyclic
+queries, answers are enumerable with constant delay after linear-time
+preprocessing (the class the paper writes ``CD∘Lin``).  The enumerator has
+the two phases of that model: a *preprocessing* phase (building the reduced
+query of :mod:`repro.enumeration.reduction` — the Section 5 conditions
+(i)–(iv) — and per-block indexes, in time linear in the data) and an
+*enumeration* phase that walks the block join tree in preorder.  Global
+consistency of the block relations (condition (iv)) guarantees that the
+walk never backtracks past an atom without producing an answer, so the
+delay between consecutive answers depends only on the query.
+
+:meth:`CDLinEnumerator.maintain` additionally keeps the reduced state valid
+under fact deltas — the engineering extension described in
+:mod:`repro.incremental`, not a construction from the paper.
 """
 
 from __future__ import annotations

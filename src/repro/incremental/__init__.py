@@ -16,6 +16,12 @@ The subsystem has three layers, threaded through the rest of the stack:
 on revalidation it asks the database for the delta since its chase
 snapshot and, when the delta is small enough (``fallback_ratio``), applies
 it in place instead of dropping the chase and every query state.
+
+What is maintained is exactly the paper's preprocessing output: the
+query-directed chase ``ch^q_O(D)`` of Section 3 (Lemma 3.2) and the
+Section 5 reduced block relations behind Theorem 4.1 — so the constant
+delay guarantee of the enumeration phase is preserved across updates; the
+paper itself treats ``D`` as static.
 """
 
 from repro.incremental.delta import Delta

@@ -6,6 +6,11 @@ now (``removed``).  :meth:`repro.data.instance.Instance.changes_since`
 produces them from the mutation log; :class:`repro.incremental.provenance.
 ChaseMaintainer` consumes them and emits a second, chase-level delta that
 the enumeration-state maintenance propagates further.
+
+The paper treats the database as static (its dynamic-complexity questions
+are left open); this subsystem is the engineering answer: maintain
+``ch^q_O(D)`` of Section 3 and the Section 5 reduction under updates so the
+serving guarantees survive mutations without linear-time rebuilds.
 """
 
 from __future__ import annotations

@@ -30,6 +30,15 @@ so complete-answer evaluation agrees with a from-scratch run (the instance
 may contain extra, homomorphically redundant null trees — firings whose
 heads a later insertion happened to satisfy — which cannot change null-free
 answers because homomorphisms fix constants).
+
+Paper anchors: the maintained object is the query-directed chase
+``ch^q_O(D)`` of Section 3, whose null-free answers are the certain answers
+(Lemma 3.2); the suppressed-trigger bookkeeping mirrors the *restricted*
+chase the paper fixes in Section 2 (fire only triggers whose head is not
+yet satisfied).  The deletion strategy itself is the classic DRed
+over-delete/re-derive scheme from incremental Datalog view maintenance
+(Gupta, Mumick & Subrahmanian, SIGMOD 1993), adapted to existential heads
+via the recorded satisfaction witnesses.
 """
 
 from __future__ import annotations

@@ -1,0 +1,274 @@
+"""File interchange: DLGP ontologies/facts/queries and CSV/TSV data dumps.
+
+This package is the frontend that makes every code path of the library —
+chase, constant-delay enumeration, prepared-query engine, incremental
+maintenance — reachable from files on disk:
+
+* :mod:`repro.io.dlgp` — a DLGP-style parser/serializer for existential
+  rules, ground facts and conjunctive queries (the Graal-family interchange
+  format);
+* :mod:`repro.io.tabular` — streaming CSV/TSV fact loaders and writers
+  (one file per relation, arity-validated);
+* this module — path-dispatching ``load_* / dump_*`` entry points plus
+  :class:`Scenario`, the bundle the CLI and the workload registry hand to
+  :class:`repro.engine.QueryEngine`.
+
+The suffix decides the format: ``.dlgp`` is parsed as a DLGP document,
+``.csv`` / ``.tsv`` as one-relation-per-file data dumps.  Everything raises
+plain :class:`ValueError` subclasses with file/line context on malformed
+input, so callers can present errors without special cases.
+
+    >>> import tempfile, pathlib
+    >>> root = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (root / "rules.dlgp").write_text(
+    ...     "@rules\\nOffice(Y) :- HasOffice(X, Y).\\n"
+    ...     "@queries\\n[q] ?(X, Y) :- HasOffice(X, Y).\\n"
+    ... )
+    >>> _ = (root / "HasOffice.csv").write_text("mary,room1\\n")
+    >>> scenario = load_scenario(
+    ...     rules=[root / "rules.dlgp"], data=[root / "HasOffice.csv"]
+    ... )
+    >>> sorted(scenario.engine().execute(scenario.queries[0]))
+    [('mary', 'room1')]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cq.query import ConjunctiveQuery
+from repro.data.instance import Database
+from repro.io.dlgp import (
+    DlgpDocument,
+    DlgpError,
+    dump_facts,
+    dump_ontology,
+    dump_queries,
+    dump_query,
+    dump_rule,
+    parse_document,
+)
+from repro.io.tabular import (
+    DELIMITERS,
+    dump_database_csv,
+    dump_facts_csv,
+    iter_facts_csv,
+    load_database_csv,
+    load_facts_csv,
+)
+from repro.tgds.ontology import Ontology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import QueryEngine
+
+__all__ = [
+    "DELIMITERS",
+    "DlgpDocument",
+    "DlgpError",
+    "Scenario",
+    "dump_database",
+    "dump_database_csv",
+    "dump_facts",
+    "dump_facts_csv",
+    "dump_ontology",
+    "dump_queries",
+    "dump_query",
+    "dump_rule",
+    "dump_scenario",
+    "iter_facts_csv",
+    "load_database",
+    "load_database_csv",
+    "load_document",
+    "load_facts_csv",
+    "load_ontology",
+    "load_queries",
+    "load_scenario",
+    "parse_document",
+]
+
+
+def load_document(path: str | Path) -> DlgpDocument:
+    """Parse one ``.dlgp`` file into rules, facts and queries."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+    try:
+        return parse_document(text)
+    except DlgpError as exc:
+        raise DlgpError(f"{path}: {exc}") from exc
+
+
+def load_ontology(path: str | Path, name: str | None = None) -> Ontology:
+    """The ontology (rules) of a DLGP file, named after the file stem."""
+    path = Path(path)
+    document = load_document(path)
+    return document.ontology(name=name or path.stem)
+
+
+def load_queries(path: str | Path) -> list[ConjunctiveQuery]:
+    """All queries of a DLGP file (``@queries`` statements)."""
+    return load_document(path).queries
+
+
+def load_database(
+    paths: Iterable[str | Path] | str | Path,
+    *,
+    database: Database | None = None,
+) -> Database:
+    """Load one or more data files into a database.
+
+    ``.csv`` / ``.tsv`` files stream one relation each (see
+    :func:`repro.io.tabular.load_database_csv`); ``.dlgp`` files contribute
+    their ``@facts`` section.  Everything lands via bulk
+    :meth:`Database.add_facts` batches.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    database = database if database is not None else Database()
+    tabular: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.suffix.lower() == ".dlgp":
+            document = load_document(path)
+            if document.rules or document.queries:
+                raise DlgpError(
+                    f"{path}: data files may only contain facts, found "
+                    f"{len(document.rules)} rules and "
+                    f"{len(document.queries)} queries (pass rule files via "
+                    "--rules / load_ontology)"
+                )
+            database.add_facts(document.facts)
+        elif path.suffix.lower() in DELIMITERS:
+            tabular.append(path)
+        else:
+            raise ValueError(
+                f"{path}: unknown data suffix {path.suffix!r} "
+                "(expected .dlgp, .csv or .tsv)"
+            )
+    load_database_csv(tabular, database=database)
+    return database
+
+
+def dump_database(
+    database: Iterable, directory: str | Path, *, data_format: str = "csv"
+) -> list[Path]:
+    """Write a database to ``directory`` as CSV/TSV files or one DLGP file.
+
+    Returns the written paths.  ``data_format`` is ``"csv"``, ``"tsv"`` or
+    ``"dlgp"``.
+    """
+    directory = Path(directory)
+    if data_format in ("csv", "tsv"):
+        return dump_database_csv(database, directory, suffix=f".{data_format}")
+    if data_format == "dlgp":
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "facts.dlgp"
+        path.write_text(dump_facts(database), encoding="utf-8")
+        return [path]
+    raise ValueError(f"unknown data format {data_format!r} (expected csv, tsv or dlgp)")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully parsed workload: ontology + database + queries.
+
+    This is the artifact bundle the CLI, the workload registry and
+    :meth:`QueryEngine.from_files <repro.engine.engine.QueryEngine.from_files>`
+    pass around; it owns nothing engine-specific, so it can equally feed the
+    one-shot enumerators of :mod:`repro.core`.
+    """
+
+    ontology: Ontology
+    database: Database
+    queries: tuple[ConjunctiveQuery, ...] = ()
+    name: str = "scenario"
+    sources: tuple[str, ...] = field(default=(), compare=False)
+
+    def engine(self, **kwargs) -> "QueryEngine":
+        """A :class:`~repro.engine.engine.QueryEngine` over this scenario."""
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(self.ontology, self.database, **kwargs)
+
+
+def load_scenario(
+    rules: Iterable[str | Path] | str | Path = (),
+    data: Iterable[str | Path] | str | Path = (),
+    queries: Iterable[str | Path] | str | Path = (),
+    *,
+    name: str | None = None,
+) -> Scenario:
+    """Assemble a :class:`Scenario` from rule, data and query files.
+
+    ``rules`` DLGP files contribute rules *and* any embedded ``@queries``
+    and ``@facts`` sections, so a single self-contained document loads with
+    ``load_scenario(rules=["scenario.dlgp"])``.  Explicit ``queries`` files
+    are appended after embedded ones; ``data`` files follow the
+    :func:`load_database` conventions.
+    """
+
+    def _as_paths(value) -> list[Path]:
+        if isinstance(value, (str, Path)):
+            value = [value]
+        return [Path(entry) for entry in value]
+
+    rule_paths, data_paths, query_paths = map(_as_paths, (rules, data, queries))
+    if not rule_paths and not data_paths:
+        raise ValueError("a scenario needs at least one rules or data file")
+    tgds = []
+    cqs: list[ConjunctiveQuery] = []
+    database = Database()
+    for path in rule_paths:
+        document = load_document(path)
+        tgds.extend(document.rules)
+        cqs.extend(document.queries)
+        database.add_facts(document.facts)
+    load_database(data_paths, database=database)
+    for path in query_paths:
+        cqs.extend(load_queries(path))
+    inferred = name or (rule_paths[0].stem if rule_paths else data_paths[0].stem)
+    sources = tuple(str(p) for p in (*rule_paths, *data_paths, *query_paths))
+    return Scenario(
+        ontology=Ontology(tgds, name=inferred),
+        database=database,
+        queries=tuple(cqs),
+        name=inferred,
+        sources=sources,
+    )
+
+
+def dump_scenario(
+    scenario: Scenario,
+    directory: str | Path,
+    *,
+    data_format: str = "csv",
+) -> list[Path]:
+    """Write a scenario to ``directory``: rules, queries and data files.
+
+    Produces ``rules.dlgp``, ``queries.dlgp`` (when the scenario has
+    queries) and the database in ``data_format``; returns all written
+    paths.  The result reloads with :func:`load_scenario` (see the
+    round-trip tests in ``tests/test_io.py``).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    rules_path = directory / "rules.dlgp"
+    rules_path.write_text(
+        dump_ontology(scenario.ontology, header=f"rules of {scenario.name}"),
+        encoding="utf-8",
+    )
+    written.append(rules_path)
+    if scenario.queries:
+        queries_path = directory / "queries.dlgp"
+        queries_path.write_text(
+            dump_queries(list(scenario.queries), header=f"queries of {scenario.name}"),
+            encoding="utf-8",
+        )
+        written.append(queries_path)
+    written.extend(dump_database(scenario.database, directory, data_format=data_format))
+    return written

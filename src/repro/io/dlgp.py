@@ -1,0 +1,434 @@
+"""A DLGP-style interchange syntax for existential rules, facts and CQs.
+
+DLGP ("Datalog+") is the de-facto text format of the existential-rule
+ecosystem (Graal and friends).  This module implements the dialect accepted
+by this library: enough of DLGP 2.0 to exchange ontologies, databases and
+conjunctive queries with third-party tools, while mapping losslessly onto
+the internal :class:`~repro.tgds.tgd.TGD` / :class:`~repro.data.facts.Fact`
+/ :class:`~repro.cq.query.ConjunctiveQuery` objects.  The precise grammar is
+specified in ``docs/formats.md``.
+
+The surface conventions differ from the internal text syntax of
+:mod:`repro.cq.parser` and :mod:`repro.tgds.parser` in the classic DLGP way:
+
+* identifiers starting with an **uppercase** letter are *variables*,
+  lowercase identifiers, integers and double-quoted strings are *constants*
+  (the internal syntax is the other way around for identifiers);
+* statements end with a period and may span lines; ``%`` starts a comment;
+* ``@rules`` / ``@facts`` / ``@queries`` section directives classify the
+  statements that follow; before any directive the statement shape decides
+  (``?`` head = query, ``:-``/``->`` = rule, bare ground atoms = facts);
+* a statement may carry a ``[label]`` prefix, preserved as the TGD label or
+  the query name.
+
+Parsing reports precise positions::
+
+    >>> try:
+    ...     parse_document("@rules\\np(X) :- q(X)")
+    ... except DlgpError as exc:
+    ...     print(exc)
+    line 2, column 13: expected '.' at end of statement
+
+Round trips are exact up to variable renaming (bound variables are
+serialized by uppercasing their first letter, so ``x1`` becomes ``X1`` and
+back), which never changes query answers::
+
+    >>> doc = parse_document('''
+    ... @rules
+    ... HasOffice(X, Y) :- Researcher(X).
+    ... @facts
+    ... Researcher(mary).
+    ... @queries
+    ... [q] ?(X, Y) :- HasOffice(X, Y).
+    ... ''')
+    >>> [str(fact) for fact in doc.facts]
+    ['Researcher(mary)']
+    >>> print(dump_queries(doc.queries).splitlines()[-1])
+    [q] ?(X, Y) :- HasOffice(X, Y).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cq.atoms import Atom, Variable, is_variable
+from repro.cq.query import ConjunctiveQuery, QueryError
+from repro.data.facts import Fact
+from repro.tgds.ontology import Ontology
+from repro.tgds.tgd import TGD, TGDError
+
+
+class DlgpError(ValueError):
+    """A malformed DLGP document, with 1-based line/column positions."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            where = f"line {line}"
+            if column is not None:
+                where += f", column {column}"
+            message = f"{where}: {message}"
+        super().__init__(message)
+
+
+@dataclass
+class DlgpDocument:
+    """The parsed content of one DLGP document."""
+
+    rules: list[TGD] = field(default_factory=list)
+    facts: list[Fact] = field(default_factory=list)
+    queries: list[ConjunctiveQuery] = field(default_factory=list)
+
+    def ontology(self, name: str = "O") -> Ontology:
+        """The document's rules as an :class:`~repro.tgds.ontology.Ontology`."""
+        return Ontology(self.rules, name=name)
+
+
+# -- tokenizer -----------------------------------------------------------
+
+#: Escape sequences inside string literals; raw newlines are not allowed,
+#: so the serializer writes ``\n`` and the parser maps it back.
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "r": "\r"}
+
+
+def _unescape_string(body: str) -> str:
+    return re.sub(
+        r"\\(.)", lambda match: _STRING_ESCAPES.get(match.group(1), match.group(1)), body
+    )
+
+
+def _escape_string(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return escaped.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>%[^\n]*)
+    | (?P<directive>@[A-Za-z][A-Za-z0-9_]*)
+    | (?P<label>\[[^\]\n]*\])
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<badstring>"(?:[^"\\\n]|\\.)*)
+    | (?P<int>-?\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<implies>:-|<-|->)
+    | (?P<punct>[(),.?])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DlgpError(f"unexpected character {text[pos]!r}", line, pos - line_start + 1)
+        kind = match.lastgroup or ""
+        token_text = match.group(0)
+        column = pos - line_start + 1
+        if kind == "badstring":
+            raise DlgpError("unterminated string literal", line, column)
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, token_text, line, column))
+        newlines = token_text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + token_text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, len(text) - line_start + 1))
+    return tokens
+
+
+# -- parser --------------------------------------------------------------
+
+_SECTIONS = {"@rules", "@facts", "@queries", "@constraints"}
+_IGNORED_DIRECTIVES = {"@base", "@prefix", "@top", "@una"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: _Token | None = None) -> DlgpError:
+        token = token or self._current
+        return DlgpError(message, token.line, token.column)
+
+    def _expect(self, text: str, what: str) -> _Token:
+        token = self._current
+        if token.text != text:
+            raise self._error(what, token)
+        return self._advance()
+
+    # -- terms and atoms -------------------------------------------------
+
+    def _parse_term(self, ground: bool):
+        token = self._advance()
+        if token.kind == "string":
+            return _unescape_string(token.text[1:-1])
+        if token.kind == "int":
+            return int(token.text)
+        if token.kind == "ident":
+            if token.text[0].isupper() or token.text[0] == "_":
+                if ground:
+                    raise self._error(
+                        f"variable {token.text!r} not allowed in a fact "
+                        "(facts must be ground)",
+                        token,
+                    )
+                # DLGP variables are Uppercase; internally they are
+                # lowercase-first.  Lowercasing the first letter makes the
+                # serializer/parser pair an exact inverse for parser-built
+                # rules and queries.
+                name = token.text[0].lower() + token.text[1:]
+                return Variable(name)
+            return token.text
+        raise self._error(f"expected a term, found {token.text!r}", token)
+
+    def _parse_atom(self, ground: bool) -> Atom:
+        token = self._advance()
+        if token.kind != "ident":
+            raise self._error(
+                f"expected a relation symbol, found {token.text or 'end of input'!r}",
+                token,
+            )
+        relation = token.text
+        self._expect("(", f"expected '(' after relation symbol {relation!r}")
+        args: list = []
+        if self._current.text != ")":
+            args.append(self._parse_term(ground))
+            while self._current.text == ",":
+                self._advance()
+                args.append(self._parse_term(ground))
+        self._expect(")", "expected ')' or ',' in atom argument list")
+        return Atom(relation, args)
+
+    def _parse_conjunction(self, ground: bool) -> list[Atom]:
+        # The keyword ``true`` denotes the empty conjunction (rule bodies).
+        if self._current.text == "true" and self._tokens[self._pos + 1].text != "(":
+            self._advance()
+            return []
+        atoms = [self._parse_atom(ground)]
+        while self._current.text == ",":
+            self._advance()
+            atoms.append(self._parse_atom(ground))
+        return atoms
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_label(self) -> str | None:
+        if self._current.kind == "label":
+            return self._advance().text[1:-1].strip()
+        return None
+
+    def _finish_statement(self) -> None:
+        self._expect(".", "expected '.' at end of statement")
+
+    def _parse_query(self, label: str | None, start: _Token) -> ConjunctiveQuery:
+        if self._current.text == "?":
+            self._advance()
+            self._expect("(", "expected '(' after '?'")
+            head_terms: list = []
+            if self._current.text != ")":
+                head_terms.append(self._parse_term(ground=False))
+                while self._current.text == ",":
+                    self._advance()
+                    head_terms.append(self._parse_term(ground=False))
+            self._expect(")", "expected ')' or ',' in query head")
+            name = label or "q"
+        else:
+            head = self._parse_atom(ground=False)
+            head_terms = list(head.args)
+            name = label or head.relation
+        for term in head_terms:
+            if not is_variable(term):
+                raise self._error(f"query head term {term!r} is not a variable", start)
+        self._expect(":-", "expected ':-' after query head")
+        body = self._parse_conjunction(ground=False)
+        self._finish_statement()
+        try:
+            return ConjunctiveQuery(head_terms, body, name=name)
+        except QueryError as exc:
+            raise self._error(str(exc), start) from exc
+
+    def _parse_rule(self, label: str | None, start: _Token) -> TGD:
+        first = self._parse_conjunction(ground=False)
+        token = self._advance()
+        if token.text == ":-":  # DLGP order: head :- body
+            head, body = first, self._parse_conjunction(ground=False)
+        elif token.text == "->":  # internal order: body -> head
+            body, head = first, self._parse_conjunction(ground=False)
+        else:
+            raise self._error("expected ':-' or '->' in rule", token)
+        self._finish_statement()
+        try:
+            return TGD(body, head, label=label or "")
+        except TGDError as exc:
+            raise self._error(str(exc), start) from exc
+
+    def _parse_facts(self) -> list[Fact]:
+        atoms = self._parse_conjunction(ground=True)
+        self._finish_statement()
+        return [Fact(atom.relation, atom.args) for atom in atoms]
+
+    def _looks_like_rule(self) -> bool:
+        """Peek ahead (within the statement) for a ':-' or '->' token."""
+        for token in self._tokens[self._pos :]:
+            if token.text == "." or token.kind == "eof":
+                return False
+            if token.text in (":-", "->"):
+                return True
+        return False
+
+    def parse(self) -> DlgpDocument:
+        document = DlgpDocument()
+        section: str | None = None
+        while self._current.kind != "eof":
+            token = self._current
+            if token.kind == "directive":
+                if token.text in _SECTIONS:
+                    section = token.text
+                    self._advance()
+                elif token.text in _IGNORED_DIRECTIVES:
+                    # Prologue directives take one argument-ish tail we do
+                    # not interpret; skip tokens up to the next '.' or the
+                    # next directive / end of line group.
+                    self._advance()
+                    while self._current.kind not in ("eof", "directive"):
+                        if self._advance().text == ".":
+                            break
+                else:
+                    raise self._error(f"unknown directive {token.text!r}", token)
+                continue
+            label = self._parse_label()
+            start = self._current
+            if section == "@constraints":
+                raise self._error("negative constraints are not supported", start)
+            if section == "@queries" or (section is None and start.text == "?"):
+                document.queries.append(self._parse_query(label, start))
+            elif section == "@rules" or (section is None and self._looks_like_rule()):
+                document.rules.append(self._parse_rule(label, start))
+            elif section in (None, "@facts"):
+                if label is not None:
+                    raise self._error("facts may not carry labels", start)
+                document.facts.extend(self._parse_facts())
+            else:  # pragma: no cover - sections are exhaustive
+                raise self._error(f"statement not allowed in section {section}", start)
+        return document
+
+
+def parse_document(text: str) -> DlgpDocument:
+    """Parse a DLGP document into rules, facts and queries.
+
+    Raises :class:`DlgpError` (a ``ValueError``) with 1-based line/column
+    information on any syntax or well-formedness problem.
+    """
+    # Prologue directives (@base, @prefix, ...) carry IRI arguments outside
+    # our token grammar; they do not affect the abstract syntax we support,
+    # so their lines are blanked wholesale (preserving line numbers).
+    lines = text.split("\n")
+    for index, line in enumerate(lines):
+        first_word = line.split(maxsplit=1)[0] if line.split() else ""
+        if first_word in _IGNORED_DIRECTIVES:
+            lines[index] = ""
+    return _Parser("\n".join(lines)).parse()
+
+
+# -- serialization -------------------------------------------------------
+
+_BARE_CONSTANT_RE = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+
+
+def _dump_term(term: object) -> str:
+    if is_variable(term):
+        name = term.name  # type: ignore[union-attr]
+        return name[0].upper() + name[1:] if name[0].islower() else name
+    if isinstance(term, bool):
+        raise DlgpError(f"cannot serialize boolean constant {term!r}")
+    if isinstance(term, int):
+        return str(term)
+    if isinstance(term, str):
+        if _BARE_CONSTANT_RE.match(term) and term != "true":
+            return term
+        return f'"{_escape_string(term)}"'
+    raise DlgpError(f"cannot serialize constant {term!r} of type {type(term).__name__}")
+
+
+def _dump_atom(atom: Atom | Fact) -> str:
+    args = ", ".join(_dump_term(term) for term in atom.args)
+    return f"{atom.relation}({args})"
+
+
+def _sorted_atoms(atoms: Iterable[Atom]) -> list[Atom]:
+    return sorted(atoms, key=_dump_atom)
+
+
+def _label_prefix(label: str) -> str:
+    if "]" in label or "\n" in label:
+        raise DlgpError(f"label {label!r} cannot be serialized")
+    return f"[{label}] " if label else ""
+
+
+def dump_rule(tgd: TGD) -> str:
+    """One DLGP rule statement, ``[label] head :- body.``"""
+    head = ", ".join(_dump_atom(atom) for atom in _sorted_atoms(tgd.head))
+    body = ", ".join(_dump_atom(atom) for atom in _sorted_atoms(tgd.body)) or "true"
+    return f"{_label_prefix(tgd.label)}{head} :- {body}."
+
+
+def dump_ontology(ontology: Ontology, header: str | None = None) -> str:
+    """The ontology as a DLGP document with one ``@rules`` section."""
+    lines = [f"% {header}" if header else f"% ontology {ontology.name}", "@rules"]
+    lines.extend(dump_rule(tgd) for tgd in ontology)
+    return "\n".join(lines) + "\n"
+
+
+def dump_facts(facts: Iterable[Fact], header: str | None = None) -> str:
+    """The facts as a DLGP document with one ``@facts`` section."""
+    lines = [f"% {header}" if header else "% facts", "@facts"]
+    checked = []
+    for fact in facts:
+        if fact.has_null():
+            raise DlgpError(f"cannot serialize fact with labelled nulls: {fact}")
+        checked.append(fact)
+    for fact in sorted(checked, key=_dump_atom):
+        lines.append(f"{_dump_atom(fact)}.")
+    return "\n".join(lines) + "\n"
+
+
+def dump_query(query: ConjunctiveQuery) -> str:
+    """One DLGP query statement, ``[name] ?(X, ...) :- body.``"""
+    head = ", ".join(_dump_term(term) for term in query.answer_variables)
+    body = ", ".join(_dump_atom(atom) for atom in _sorted_atoms(query.atoms))
+    return f"{_label_prefix(query.name)}?({head}) :- {body}."
+
+
+def dump_queries(queries: Sequence[ConjunctiveQuery], header: str | None = None) -> str:
+    """The queries as a DLGP document with one ``@queries`` section."""
+    lines = [f"% {header}" if header else "% queries", "@queries"]
+    lines.extend(dump_query(query) for query in queries)
+    return "\n".join(lines) + "\n"

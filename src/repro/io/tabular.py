@@ -1,0 +1,217 @@
+"""Delimited-file (CSV/TSV) loaders and writers for database facts.
+
+The convention matches the usual existential-rule benchmark dumps: **one
+file per relation**, no header row, one fact per row.  The relation symbol
+defaults to the file stem (``HasOffice.csv`` holds ``HasOffice`` facts), the
+arity is inferred from the first row and validated on every following row,
+and values are plain strings except that integer-shaped fields become
+``int`` constants (mirroring the term syntax of :mod:`repro.cq.parser`).
+The grammar accepted is specified in ``docs/formats.md``.
+
+Loading streams: :func:`iter_facts_csv` yields facts row by row and
+:func:`load_database_csv` feeds them straight into
+:meth:`Database.add_facts() <repro.data.instance.Instance.add_facts>`, so a
+bulk load costs one version bump and one coalesced delta, never per-fact
+churn.
+
+    >>> import io
+    >>> rows = io.StringIO("mary,room1\\njohn,room4\\n")
+    >>> [str(fact) for fact in iter_facts_csv(rows, relation="HasOffice")]
+    ['HasOffice(mary, room1)', 'HasOffice(john, room4)']
+
+Arity mismatches fail with the offending position::
+
+    >>> rows = io.StringIO("a,b\\nc\\n")
+    >>> list(iter_facts_csv(rows, relation="R"))
+    Traceback (most recent call last):
+    ...
+    ValueError: <csv>, line 2: R row has 1 fields, expected 2
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.data.facts import Fact
+from repro.data.instance import Database
+
+_INT_RE = re.compile(r"-?\d+\Z")
+
+#: File suffixes understood by the tabular loaders, with their delimiters.
+DELIMITERS = {".csv": ",", ".tsv": "\t"}
+
+
+def _delimiter_for(path: Path, delimiter: str | None) -> str:
+    if delimiter is not None:
+        return delimiter
+    try:
+        return DELIMITERS[path.suffix.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DELIMITERS))
+        raise ValueError(
+            f"{path}: unknown tabular suffix {path.suffix!r} (expected {known}; "
+            "pass delimiter=... to force one)"
+        ) from None
+
+
+def _parse_field(field: str, infer_types: bool):
+    return int(field) if infer_types and _INT_RE.match(field) else field
+
+
+def iter_facts_csv(
+    rows: IO[str] | Iterable[str],
+    relation: str,
+    *,
+    delimiter: str = ",",
+    infer_types: bool = True,
+    source: str = "<csv>",
+) -> Iterator[Fact]:
+    """Stream ``relation`` facts out of delimited text rows.
+
+    The first non-empty row fixes the arity; every later row must agree or a
+    :class:`ValueError` naming ``source`` and the 1-based line is raised.
+    With ``infer_types`` (the default) integer-shaped fields become ``int``
+    constants, everything else stays a string.
+    """
+    arity: int | None = None
+    reader = csv.reader(rows, delimiter=delimiter)
+    for row in reader:
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue
+        if arity is None:
+            arity = len(row)
+        elif len(row) != arity:
+            raise ValueError(
+                f"{source}, line {reader.line_num}: {relation} row has "
+                f"{len(row)} fields, expected {arity}"
+            )
+        yield Fact(relation, tuple(_parse_field(field, infer_types) for field in row))
+
+
+def load_facts_csv(
+    path: str | Path,
+    *,
+    relation: str | None = None,
+    delimiter: str | None = None,
+    infer_types: bool = True,
+) -> Iterator[Fact]:
+    """Stream the facts of one delimited file (relation = file stem)."""
+    path = Path(path)
+    delimiter = _delimiter_for(path, delimiter)
+    relation = relation or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        yield from iter_facts_csv(
+            handle,
+            relation,
+            delimiter=delimiter,
+            infer_types=infer_types,
+            source=str(path),
+        )
+
+
+def load_database_csv(
+    paths: Iterable[str | Path],
+    *,
+    database: Database | None = None,
+    infer_types: bool = True,
+) -> Database:
+    """Bulk-load delimited files into a (new or existing) database.
+
+    Each file contributes one relation (its stem).  Facts stream through
+    :meth:`Database.add_facts`, so the whole load is one coalesced batch per
+    file.  Relations loaded from several files must agree on arity.
+    """
+    database = database if database is not None else Database()
+    arities: dict[str, tuple[int, str]] = {}
+    for path in paths:
+        path = Path(path)
+
+        def _checked(facts: Iterator[Fact], origin: str) -> Iterator[Fact]:
+            for fact in facts:
+                seen = arities.get(fact.relation)
+                if seen is None:
+                    arities[fact.relation] = (fact.arity, origin)
+                elif seen[0] != fact.arity:
+                    raise ValueError(
+                        f"{origin}: relation {fact.relation!r} has arity "
+                        f"{fact.arity}, but {seen[1]} already used arity {seen[0]}"
+                    )
+                yield fact
+
+        database.add_facts(_checked(load_facts_csv(path, infer_types=infer_types), str(path)))
+    return database
+
+
+def _dump_field(value: object, source: str) -> str:
+    if isinstance(value, bool) or not isinstance(value, (str, int)):
+        raise ValueError(
+            f"{source}: cannot serialize constant {value!r} of type "
+            f"{type(value).__name__} to a delimited file"
+        )
+    if isinstance(value, str) and _INT_RE.match(value):
+        # An int-shaped *string* would come back as an int and silently
+        # change answers; delimited files carry no type information, so
+        # refuse instead of round-tripping lossily (DLGP quotes these).
+        raise ValueError(
+            f"{source}: string constant {value!r} is integer-shaped and would "
+            "be reloaded as an int; dump this relation as DLGP instead "
+            "(data_format='dlgp')"
+        )
+    return str(value)
+
+
+def dump_facts_csv(
+    facts: Iterable[Fact],
+    path: str | Path,
+    *,
+    relation: str | None = None,
+    delimiter: str | None = None,
+) -> int:
+    """Write one relation's facts to a delimited file; returns the row count.
+
+    Rows are sorted for deterministic output.  Every fact must belong to
+    ``relation`` (default: the file stem) and be null-free.
+    """
+    path = Path(path)
+    delimiter = _delimiter_for(path, delimiter)
+    relation = relation or path.stem
+    rows: list[tuple[str, ...]] = []
+    for fact in facts:
+        if fact.relation != relation:
+            raise ValueError(
+                f"{path}: fact {fact} does not belong to relation {relation!r}"
+            )
+        if fact.has_null():
+            raise ValueError(f"{path}: cannot serialize fact with nulls: {fact}")
+        rows.append(tuple(_dump_field(value, str(path)) for value in fact.args))
+    rows.sort()
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter, lineterminator="\n")
+        writer.writerows(rows)
+    return len(rows)
+
+
+def dump_database_csv(
+    database: Iterable[Fact],
+    directory: str | Path,
+    *,
+    suffix: str = ".csv",
+) -> list[Path]:
+    """Write a database as one ``<Relation>.csv`` (or ``.tsv``) per relation.
+
+    Returns the written paths, sorted.  The directory is created if needed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_relation: dict[str, list[Fact]] = {}
+    for fact in database:
+        by_relation.setdefault(fact.relation, []).append(fact)
+    written: list[Path] = []
+    for relation in sorted(by_relation):
+        path = directory / f"{relation}{suffix}"
+        dump_facts_csv(by_relation[relation], path, relation=relation)
+        written.append(path)
+    return written

@@ -1,4 +1,10 @@
-"""Synthetic workload generators used by examples, tests and benchmarks."""
+"""Workload generators and the scenario registry.
+
+The synthetic generators (office, university, lubm, graph, matrix) build
+scalable databases and canonical OMQs; :mod:`repro.workloads.registry`
+unifies them with file-based workloads behind ``get_workload(name_or_path)``
+— see ``docs/cli.md`` and ``docs/formats.md`` for the file conventions.
+"""
 
 from repro.workloads.office import (
     generate_office_database,
@@ -12,17 +18,57 @@ from repro.workloads.university import (
     university_ontology,
     university_query,
 )
-from repro.workloads.graphs import random_graph
-from repro.workloads.matrices import random_sparse_matrix
+from repro.workloads.lubm import (
+    generate_lubm_database,
+    lubm_omq,
+    lubm_ontology,
+    lubm_queries,
+    lubm_query,
+)
+from repro.workloads.graphs import (
+    generate_graph_database,
+    graph_omq,
+    graph_query,
+    random_graph,
+)
+from repro.workloads.matrices import (
+    generate_matrix_database,
+    matrix_omq,
+    matrix_query,
+    random_sparse_matrix,
+)
+from repro.workloads.registry import (
+    DEFAULT_SIZE,
+    Workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
 
 __all__ = [
+    "DEFAULT_SIZE",
+    "Workload",
+    "generate_graph_database",
+    "generate_lubm_database",
+    "generate_matrix_database",
     "generate_office_database",
     "generate_university_database",
+    "get_workload",
+    "graph_omq",
+    "graph_query",
+    "list_workloads",
+    "lubm_omq",
+    "lubm_ontology",
+    "lubm_queries",
+    "lubm_query",
+    "matrix_omq",
+    "matrix_query",
     "office_omq",
     "office_ontology",
     "office_query",
     "random_graph",
     "random_sparse_matrix",
+    "register_workload",
     "university_omq",
     "university_ontology",
     "university_query",

@@ -1,0 +1,128 @@
+"""A LUBM-style workload: the university scenario at benchmark vocabulary.
+
+This is the registry's "generator variant" of :mod:`repro.workloads.
+university`: the same OBDA shape (an ELI ontology completing incomplete
+ABox data with existentials), but over a vocabulary modelled on the Lehigh
+University Benchmark — a faculty hierarchy, course enrolment and teaching,
+and an organizational suborganization chain.  The extra TGD depth makes the
+chase produce longer null chains than the plain university workload, and
+the three canonical queries exercise distinct join shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.omq import OMQ
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery
+from repro.data.facts import Fact
+from repro.data.instance import Database
+from repro.tgds.ontology import Ontology
+from repro.tgds.parser import parse_ontology
+
+_LUBM_ONTOLOGY = """
+FullProfessor(x) -> Professor(x)
+AssociateProfessor(x) -> Professor(x)
+Professor(x) -> Faculty(x)
+Lecturer(x) -> Faculty(x)
+Faculty(x) -> WorksFor(x, y)
+WorksFor(x, y) -> Department(y)
+Department(x) -> SubOrgOf(x, y)
+SubOrgOf(x, y) -> Organization(y)
+GradStudent(x) -> HasAdvisor(x, y)
+HasAdvisor(x, y) -> Faculty(y)
+GradStudent(x) -> TakesCourse(x, y)
+TakesCourse(x, y) -> Course(y)
+Course(x) -> TaughtBy(x, y)
+TaughtBy(x, y) -> Faculty(y)
+"""
+
+
+def lubm_ontology() -> Ontology:
+    """Fourteen ELI TGDs over a LUBM-flavoured vocabulary."""
+    return parse_ontology(_LUBM_ONTOLOGY, name="lubm")
+
+
+def lubm_query() -> ConjunctiveQuery:
+    """Students with a course they take and who teaches it."""
+    return parse_query(
+        "q(student, course, teacher) :- TakesCourse(student, course), "
+        "TaughtBy(course, teacher)"
+    )
+
+
+def lubm_queries() -> list[ConjunctiveQuery]:
+    """The canonical query plus two further acyclic, free-connex shapes."""
+    return [
+        lubm_query(),
+        parse_query(
+            "advisors(student, advisor, dept) :- HasAdvisor(student, advisor), "
+            "WorksFor(advisor, dept)"
+        ),
+        parse_query(
+            "colleagues(s1, s2, advisor) :- HasAdvisor(s1, advisor), "
+            "HasAdvisor(s2, advisor)"
+        ),
+    ]
+
+
+def lubm_omq() -> OMQ:
+    """The canonical LUBM-style OMQ (acyclic, free-connex, ELI)."""
+    return OMQ.from_parts(lubm_ontology(), lubm_query(), name="Q_lubm")
+
+
+@dataclass(frozen=True)
+class LubmProfile:
+    """Knobs controlling the shape of the generated LUBM-style data."""
+
+    students_per_faculty: int = 4
+    courses_per_student: float = 1.5
+    departments: int = 6
+    advisor_probability: float = 0.6
+    enrolment_probability: float = 0.8
+    teaching_probability: float = 0.5
+    affiliation_probability: float = 0.5
+
+
+def generate_lubm_database(
+    students: int,
+    profile: LubmProfile | None = None,
+    seed: int = 0,
+) -> Database:
+    """Generate a LUBM-style database with ``students`` graduate students.
+
+    Every generated section is deliberately incomplete (controlled by the
+    profile probabilities), so the ontology's existentials contribute real
+    nulls: faculty without explicit departments, courses without explicit
+    teachers, students without explicit advisors.
+    """
+    profile = profile or LubmProfile()
+    rng = random.Random(seed)
+    faculty = max(1, students // max(1, profile.students_per_faculty))
+    courses = max(1, int(students * profile.courses_per_student / 2))
+    facts: list[Fact] = []
+    for index in range(faculty):
+        person = f"faculty{index}"
+        rank = rng.choice(("FullProfessor", "AssociateProfessor", "Lecturer"))
+        facts.append(Fact(rank, (person,)))
+        if rng.random() < profile.affiliation_probability:
+            department = f"dept{rng.randrange(profile.departments)}"
+            facts.append(Fact("WorksFor", (person, department)))
+    for index in range(courses):
+        course = f"course{index}"
+        facts.append(Fact("Course", (course,)))
+        if rng.random() < profile.teaching_probability:
+            teacher = f"faculty{rng.randrange(faculty)}"
+            facts.append(Fact("TaughtBy", (course, teacher)))
+    for index in range(students):
+        student = f"student{index}"
+        facts.append(Fact("GradStudent", (student,)))
+        if rng.random() < profile.advisor_probability:
+            advisor = f"faculty{rng.randrange(faculty)}"
+            facts.append(Fact("HasAdvisor", (student, advisor)))
+        if rng.random() < profile.enrolment_probability:
+            course = f"course{rng.randrange(courses)}"
+            facts.append(Fact("TakesCourse", (student, course)))
+    return Database(facts)

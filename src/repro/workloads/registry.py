@@ -1,0 +1,207 @@
+"""The workload registry: one name-or-path API over every scenario.
+
+``get_workload(name_or_path)`` unifies the built-in synthetic generators
+(office, university, lubm, graph, matrix) with **file-based** workloads
+(DLGP rules/queries + DLGP or CSV/TSV data) behind one interface: every
+workload produces a :class:`repro.io.Scenario` — ontology + database +
+queries — which is what the CLI, the benchmarks and
+:class:`repro.engine.QueryEngine` consume.
+
+    >>> workload = get_workload("office")
+    >>> scenario = workload.scenario(size=10, seed=1)
+    >>> sorted(query.name for query in scenario.queries)
+    ['q']
+
+A path (a ``.dlgp`` file, a data file, or a directory of them) is loaded as
+a file-backed workload; the string form works anywhere a name does::
+
+    repro run --workload examples/data --show 3
+
+Third-party code can register its own generators with
+:func:`register_workload`; names must be unique.  Unknown names raise a
+``ValueError`` listing every registered workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.omq import OMQ
+from repro.io import DELIMITERS, Scenario, load_scenario
+from repro.workloads.graphs import generate_graph_database, graph_omq
+from repro.workloads.lubm import generate_lubm_database, lubm_omq, lubm_queries
+from repro.workloads.matrices import generate_matrix_database, matrix_omq
+from repro.workloads.office import generate_office_database, office_omq
+from repro.workloads.university import generate_university_database, university_omq
+
+#: Database scale used when a caller does not pass ``size``.
+DEFAULT_SIZE = 300
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named scenario source: synthetic generator or files on disk.
+
+    ``builder`` maps ``(size, seed)`` to a :class:`~repro.io.Scenario`;
+    file-backed workloads ignore both knobs (``scalable`` is False for
+    them, so callers can warn about a meaningless ``--size``).
+    """
+
+    name: str
+    description: str
+    builder: Callable[[int, int], Scenario] = field(compare=False)
+    source: str = "builtin"
+    scalable: bool = True
+
+    def scenario(self, size: int = DEFAULT_SIZE, seed: int = 0) -> Scenario:
+        """Build (or load) the scenario at the given scale."""
+        return self.builder(size, seed)
+
+    def omq(self, size: int = DEFAULT_SIZE, seed: int = 0) -> OMQ:
+        """The workload's canonical OMQ (ontology + first query)."""
+        scenario = self.scenario(size, seed)
+        if not scenario.queries:
+            raise ValueError(f"workload {self.name!r} declares no queries")
+        return OMQ.from_parts(scenario.ontology, scenario.queries[0], name=f"Q_{self.name}")
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, *, replace: bool = False) -> Workload:
+    """Add a workload to the registry (``replace=True`` to overwrite)."""
+    if not replace and workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} is already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def list_workloads() -> dict[str, Workload]:
+    """All registered workloads, by name (sorted)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _builtin(name: str, description: str, omq_factory, generator, queries=None):
+    def builder(size: int, seed: int) -> Scenario:
+        omq = omq_factory()
+        extra = list(queries()) if queries is not None else [omq.query]
+        return Scenario(
+            ontology=omq.ontology,
+            database=generator(size, seed=seed),
+            queries=tuple(extra),
+            name=name,
+        )
+
+    register_workload(Workload(name=name, description=description, builder=builder))
+
+
+_builtin(
+    "office",
+    "Example 1.1: researchers, offices and buildings",
+    office_omq,
+    generate_office_database,
+)
+_builtin(
+    "university",
+    "LUBM-flavoured students/advisors/departments over an ELI ontology",
+    university_omq,
+    generate_university_database,
+)
+_builtin(
+    "lubm",
+    "LUBM-style vocabulary: faculty hierarchy, courses, enrolment (3 queries)",
+    lubm_omq,
+    generate_lubm_database,
+    queries=lubm_queries,
+)
+_builtin(
+    "graph",
+    "random directed graph with a two-step path query (empty ontology)",
+    graph_omq,
+    generate_graph_database,
+)
+_builtin(
+    "matrix",
+    "sparse Boolean matrices with the full BMM join query (empty ontology)",
+    matrix_omq,
+    generate_matrix_database,
+)
+
+
+def _file_workload(path: Path) -> Workload:
+    """Wrap a ``.dlgp`` scenario file, a data file or a directory of both."""
+    resolved = path.resolve()
+    if resolved.is_dir():
+        rules = sorted(resolved.glob("*.dlgp"))
+        data = sorted(entry for suffix in DELIMITERS for entry in resolved.glob(f"*{suffix}"))
+        if not rules and not data:
+            raise ValueError(f"workload directory {path} holds no .dlgp or tabular files")
+    elif resolved.suffix.lower() == ".dlgp":
+        rules, data = [resolved], []
+    elif resolved.suffix.lower() in DELIMITERS:
+        rules, data = [], [resolved]
+    else:
+        raise ValueError(
+            f"cannot load workload from {path}: expected a .dlgp file, a "
+            ".csv/.tsv file, or a directory"
+        )
+
+    def builder(size: int, seed: int) -> Scenario:
+        del size, seed  # file-backed scenarios have a fixed database
+        return load_scenario(rules=rules, data=data, name=resolved.stem)
+
+    return Workload(
+        name=str(path),
+        description=f"file-backed workload from {path}",
+        builder=builder,
+        source=str(resolved),
+        scalable=False,
+    )
+
+
+def get_workload(name_or_path: str | Path) -> Workload:
+    """Resolve a registry name or a filesystem path to a workload.
+
+    Names are looked up in the registry first; otherwise an existing file
+    or directory is wrapped as a file-backed workload.  Anything else is a
+    ``ValueError`` listing the registered names.
+    """
+    name = str(name_or_path)
+    workload = _REGISTRY.get(name)
+    if workload is not None:
+        return workload
+    path = Path(name_or_path)
+    if path.exists():
+        return _file_workload(path)
+    known = ", ".join(sorted(_REGISTRY))
+    raise ValueError(
+        f"unknown workload {name!r}: not a registered name ({known}) "
+        "and not an existing file or directory"
+    )
+
+
+def _register_demo() -> None:
+    """Register the file-backed demo shipped under ``examples/data/``.
+
+    Only possible in a source checkout (editable install); wheels do not
+    ship the examples tree, so the demo silently stays unregistered there.
+    """
+    demo_dir = Path(__file__).resolve().parents[3] / "examples" / "data"
+    if not demo_dir.is_dir():
+        return
+    workload = _file_workload(demo_dir)
+    register_workload(
+        Workload(
+            name="demo",
+            description="file-backed office demo (DLGP rules/queries + CSV data)",
+            builder=workload.builder,
+            source=workload.source,
+            scalable=False,
+        ),
+        replace=True,
+    )
+
+
+_register_demo()
