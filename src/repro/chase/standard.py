@@ -23,9 +23,15 @@ from typing import Sequence
 
 from repro.data.facts import Fact
 from repro.data.instance import Instance
+from repro.data.interning import TERMS
 from repro.data.terms import Null, NullFactory, is_null
-from repro.cq.atoms import Variable
-from repro.cq.homomorphism import all_homomorphisms, find_homomorphism, match_atom
+from repro.cq.atoms import Atom, Variable
+from repro.cq.homomorphism import (
+    _candidate_pool,
+    all_homomorphisms,
+    find_homomorphism,
+    match_atom,
+)
 from repro.cq.query import ConjunctiveQuery
 from repro.tgds.ontology import Ontology
 from repro.tgds.tgd import TGD
@@ -138,13 +144,22 @@ class ChaseRecorder:
 
 @dataclass(frozen=True)
 class CompiledOntology:
-    """The per-TGD structures every chase round reuses."""
+    """The per-TGD structures every chase round reuses.
+
+    ``frontier_orders`` / ``body_orders`` fix, once per TGD, the
+    sorted-by-name variable order that trigger keys are built in, so the
+    per-trigger key is a plain value tuple in that order instead of a
+    freshly sorted item list.
+    """
 
     tgds: tuple[TGD, ...]
     body_queries: tuple[ConjunctiveQuery | None, ...]
     head_queries: tuple[ConjunctiveQuery, ...]
     frontiers: tuple[tuple[Variable, ...], ...]
     existentials: tuple[tuple[Variable, ...], ...]
+    frontier_orders: tuple[tuple[Variable, ...], ...]
+    body_orders: tuple[tuple[Variable, ...], ...]
+    single_bodies: tuple["Atom | None", ...]
 
 
 def compile_ontology(ontology: Ontology) -> CompiledOntology:
@@ -163,6 +178,17 @@ def compile_ontology(ontology: Ontology) -> CompiledOntology:
         ),
         frontiers=tuple(tuple(tgd.frontier_variables()) for tgd in tgds),
         existentials=tuple(tuple(tgd.existential_variables()) for tgd in tgds),
+        frontier_orders=tuple(
+            tuple(sorted(tgd.frontier_variables(), key=lambda v: v.name))
+            for tgd in tgds
+        ),
+        body_orders=tuple(
+            tuple(sorted(tgd.body_variables(), key=lambda v: v.name))
+            for tgd in tgds
+        ),
+        single_bodies=tuple(
+            next(iter(tgd.body)) if len(tgd.body) == 1 else None for tgd in tgds
+        ),
     )
 
 
@@ -171,12 +197,49 @@ def _head_witness(
     frontier_map: dict[Variable, object],
     instance: Instance,
 ) -> dict[Variable, object] | None:
-    """A homomorphism satisfying the TGD head at this trigger, or ``None``."""
+    """A homomorphism satisfying the TGD head at this trigger, or ``None``.
+
+    Single-atom heads (the overwhelmingly common case in the guarded/ELI
+    workloads) are answered with one index probe plus a match per candidate
+    instead of spinning up the full backtracking search; multi-atom heads
+    fall back to the generic homomorphism finder.
+    """
+    atoms = head_query.atoms
+    if len(atoms) == 1:
+        atom = next(iter(atoms))
+        arity = atom.arity
+        for fact in _candidate_pool(atom, frontier_map, instance):
+            if fact.arity != arity:
+                continue
+            extension = match_atom(atom, fact, frontier_map)
+            if extension is not None:
+                witness = dict(frontier_map)
+                witness.update(extension)
+                return witness
+        return None
     return find_homomorphism(head_query, instance, partial=frontier_map)
 
 
-def _trigger_key(tgd_index: int, body_map: dict[Variable, object]) -> tuple:
-    return (tgd_index, tuple(sorted(body_map.items(), key=lambda kv: kv[0].name)))
+def _trigger_key(
+    tgd_index: int,
+    mapping: dict[Variable, object],
+    order: Sequence[Variable],
+    interned: bool = False,
+) -> tuple:
+    """The dedup key of a trigger: the mapped values in a fixed variable order.
+
+    ``order`` is the precompiled sorted variable order of the TGD's frontier
+    (restricted chase) or body (oblivious chase) from
+    :class:`CompiledOntology` — callers must pass the same order for keys to
+    compare across rounds and across the provenance-maintained delta chase.
+    With ``interned`` the values are dictionary-encoded first, so the
+    ``fired`` set hashes machine ints instead of term objects — the
+    id-matching half of the chase loop.
+    """
+    values = tuple(mapping[v] for v in order)
+    if interned:
+        values = TERMS.intern_tuple(values)
+    return (tgd_index, values)
 
 
 def _delta_body_maps(
@@ -193,11 +256,29 @@ def _delta_body_maps(
     the index-driven homomorphism search complete the rest against the full
     instance.  The result is materialised (and de-duplicated, since one match
     can touch the delta through several atoms) so the caller is free to
-    mutate ``instance`` while firing triggers.
+    mutate ``instance`` while firing triggers.  Single-atom bodies (the
+    common case in guarded/ELI ontologies) skip the search entirely: the
+    atom-fact match *is* the body homomorphism.
     """
-    maps: list[dict[Variable, object]] = []
+    body = tuple(tgd.body)
+    if len(body) == 1:
+        atom = body[0]
+        maps: list[dict[Variable, object]] = []
+        seen_single: set[Fact] = set()
+        for fact in delta:
+            if (
+                fact.relation != atom.relation
+                or fact in seen_single
+            ):
+                continue
+            seen_single.add(fact)
+            partial = match_atom(atom, fact, {})
+            if partial is not None:
+                maps.append(partial)
+        return maps
+    maps = []
     seen: set[frozenset] = set()
-    for atom in tgd.body:
+    for atom in body:
         for fact in delta:
             if fact.relation != atom.relation or fact.arity != atom.arity:
                 continue
@@ -235,7 +316,10 @@ def chase(
     instance = Instance(database)
     base_constants = frozenset(instance.constants())
     null_depth: dict[Null, int] = {}
-    fresh = NullFactory()
+    # Draw labels from the instance's factory (process-globally unique), so
+    # two independent chase runs can never hand out aliasing null labels.
+    fresh = instance.null_factory
+    interned = instance.interned
     result = ChaseResult(instance, base_constants, null_depth)
     fired: set[tuple] = set()
     if recorder is not None:
@@ -271,17 +355,37 @@ def chase(
                     continue
                 body_maps: list[dict[Variable, object]] = [{}]
             elif delta is None:
-                body_maps = list(all_homomorphisms(body_query, instance))
+                single = compiled.single_bodies[tgd_index]
+                if single is not None:
+                    # Single-atom body: every matching fact is a body map,
+                    # no search machinery needed (the dominant TGD shape).
+                    body_maps = []
+                    for fact in instance.relation(single.relation):
+                        body_map = match_atom(single, fact, {})
+                        if body_map is not None:
+                            body_maps.append(body_map)
+                else:
+                    body_maps = list(all_homomorphisms(body_query, instance))
             else:
                 body_maps = _delta_body_maps(tgd, body_query, instance, delta)
             for body_map in body_maps:
                 frontier_map = {v: body_map[v] for v in frontiers[tgd_index]}
                 if oblivious:
-                    key = _trigger_key(tgd_index, body_map)
+                    key = _trigger_key(
+                        tgd_index,
+                        body_map,
+                        compiled.body_orders[tgd_index],
+                        interned,
+                    )
                     if key in fired:
                         continue
                 else:
-                    key = _trigger_key(tgd_index, frontier_map)
+                    key = _trigger_key(
+                        tgd_index,
+                        frontier_map,
+                        compiled.frontier_orders[tgd_index],
+                        interned,
+                    )
                     if key in fired:
                         continue
                     witness = _head_witness(

@@ -48,6 +48,7 @@ from typing import Sequence
 
 from repro.data.facts import Fact
 from repro.data.instance import Database
+from repro.data.interning import use_interning
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.engine import QueryEngine
@@ -171,6 +172,16 @@ def _replay_updates(
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.no_intern:
+        # Scoped around the whole run (scenario load included — instances
+        # capture the interning flag at construction) and restored on exit,
+        # so in-process callers of main() keep the process default.
+        with use_interning(False):
+            return _run_command(args)
+    return _run_command(args)
+
+
+def _run_command(args: argparse.Namespace) -> int:
     try:
         scenario = _resolve_scenario(args)
         queries = _resolve_queries(args.queries, args.inline, scenario)
@@ -421,6 +432,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "allow queries outside the acyclic/free-connex class "
             "(served via materialized certain answers, not constant delay)"
+        ),
+    )
+    run.add_argument(
+        "--no-intern",
+        action="store_true",
+        help=(
+            "disable the interned (dictionary-encoded) fact store and run "
+            "over term objects, as with REPRO_NO_INTERN=1 (A/B escape hatch)"
         ),
     )
     run.set_defaults(func=_run)

@@ -12,11 +12,51 @@ from typing import Iterable, Mapping
 from repro.data.facts import Fact
 
 
-@dataclass(frozen=True, slots=True, order=True)
 class Variable:
-    """A query variable, identified by its name."""
+    """A query variable, identified by its name.
 
-    name: str
+    Hand-written (not a dataclass) because variables are the dictionary
+    keys of every assignment the homomorphism search touches: the hash is
+    computed once at construction and equality/ordering compare names
+    directly.  Immutable by convention — treat ``name`` as read-only.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._hash = hash(name)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Variable:
+            return self.name == other.name
+        return NotImplemented
+
+    def __lt__(self, other: "Variable") -> bool:
+        if other.__class__ is Variable:
+            return self.name < other.name
+        return NotImplemented
+
+    def __le__(self, other: "Variable") -> bool:
+        if other.__class__ is Variable:
+            return self.name <= other.name
+        return NotImplemented
+
+    def __gt__(self, other: "Variable") -> bool:
+        if other.__class__ is Variable:
+            return self.name > other.name
+        return NotImplemented
+
+    def __ge__(self, other: "Variable") -> bool:
+        if other.__class__ is Variable:
+            return self.name >= other.name
+        return NotImplemented
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"?{self.name}"
@@ -29,11 +69,19 @@ def is_variable(term: object) -> bool:
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """A relational atom ``R(t1, ..., tk)`` over variables and constants."""
+    """A relational atom ``R(t1, ..., tk)`` over variables and constants.
+
+    Structure that the matching hot paths would otherwise re-derive per call
+    is precomputed once: the variable set, the hash, and ``term_plan`` — the
+    ``(position, term, is_variable)`` triples the candidate-pool and
+    ``to_fact`` loops walk without per-term ``isinstance`` checks.
+    """
 
     relation: str
     args: tuple
     _variables: frozenset = field(default=frozenset(), compare=False, repr=False)
+    _hash: int = field(default=0, compare=False, repr=False)
+    term_plan: tuple = field(default=(), compare=False, repr=False)
 
     def __init__(self, relation: str, args: Iterable) -> None:
         object.__setattr__(self, "relation", relation)
@@ -43,6 +91,18 @@ class Atom:
             "_variables",
             frozenset(t for t in self.args if isinstance(t, Variable)),
         )
+        object.__setattr__(self, "_hash", hash((self.relation, self.args)))
+        object.__setattr__(
+            self,
+            "term_plan",
+            tuple(
+                (position, term, isinstance(term, Variable))
+                for position, term in enumerate(self.args)
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def arity(self) -> int:
@@ -65,14 +125,13 @@ class Atom:
 
     def to_fact(self, mapping: Mapping[Variable, object]) -> Fact:
         """Instantiate the atom into a fact; every variable must be mapped."""
-        args = []
-        for term in self.args:
-            if is_variable(term):
-                if term not in mapping:
-                    raise KeyError(f"variable {term} is not mapped")
-                args.append(mapping[term])
-            else:
-                args.append(term)
+        try:
+            args = [
+                mapping[term] if is_var else term
+                for _, term, is_var in self.term_plan
+            ]
+        except KeyError as exc:
+            raise KeyError(f"variable {exc.args[0]} is not mapped") from None
         return Fact(self.relation, args)
 
     def matches(self, fact: Fact) -> bool:

@@ -7,7 +7,11 @@ the instance's positional indexes: at every step the *most constrained*
 remaining atom (the one with the smallest candidate bucket under the current
 partial assignment) is matched next, and its candidates are fetched with one
 ``(relation, bound-positions)`` index probe instead of scanning and filtering
-whole relation or adjacency buckets.  They are the reference evaluator the
+whole relation or adjacency buckets.  Over an interned instance (the
+default) those probes are id-keyed: :meth:`~repro.data.instance.Instance.probe`
+translates the term key to dense ids once and the bucket lookup hashes
+machine ints, which is what makes the per-probe constant match the paper's
+RAM-model accounting.  They are the reference evaluator the
 optimised algorithms are tested against, and the workhorse for the small
 fixed-size subproblems (progress trees, excursions) where data complexity is
 not a concern.
@@ -44,6 +48,9 @@ def is_homomorphism(
     return True
 
 
+_MISSING = object()
+
+
 def _candidate_pool(
     atom: Atom, assignment: Mapping[Variable, object], instance: Instance
 ) -> Collection[Fact]:
@@ -56,11 +63,13 @@ def _candidate_pool(
     """
     positions: list[int] = []
     key: list[object] = []
-    for position, term in enumerate(atom.args):
-        if is_variable(term):
-            if term in assignment:
+    get = assignment.get
+    for position, term, is_var in atom.term_plan:
+        if is_var:
+            value = get(term, _MISSING)
+            if value is not _MISSING:
                 positions.append(position)
-                key.append(assignment[term])
+                key.append(value)
         else:
             positions.append(position)
             key.append(term)
@@ -74,8 +83,12 @@ def match_atom(
 ) -> dict[Variable, object] | None:
     """Try to extend ``assignment`` so that ``atom`` maps onto ``fact``."""
     extension: dict[Variable, object] = {}
-    for term, value in zip(atom.args, fact.args):
-        if is_variable(term):
+    args = fact.args
+    if len(args) != len(atom.term_plan):
+        return None
+    for position, term, is_var in atom.term_plan:
+        value = args[position]
+        if is_var:
             bound = assignment.get(term, extension.get(term))
             if bound is None:
                 extension[term] = value
@@ -108,16 +121,24 @@ def all_homomorphisms(
         if not remaining:
             yield dict(assignment)
             return
-        best_index = 0
-        best_pool: Collection[Fact] | None = None
-        for i, atom in enumerate(remaining):
-            pool = _candidate_pool(atom, assignment, instance)
-            if best_pool is None or len(pool) < len(best_pool):
-                best_index, best_pool = i, pool
-                if not pool:
-                    return
-        atom = remaining[best_index]
-        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        if len(remaining) == 1:
+            # One atom left: no ordering decision to make, probe directly.
+            atom = remaining[0]
+            best_pool: Collection[Fact] | None = _candidate_pool(
+                atom, assignment, instance
+            )
+            rest: list[Atom] = []
+        else:
+            best_index = 0
+            best_pool = None
+            for i, atom in enumerate(remaining):
+                pool = _candidate_pool(atom, assignment, instance)
+                if best_pool is None or len(pool) < len(best_pool):
+                    best_index, best_pool = i, pool
+                    if not pool:
+                        return
+            atom = remaining[best_index]
+            rest = remaining[:best_index] + remaining[best_index + 1 :]
         assert best_pool is not None
         for fact in best_pool:
             if fact.arity != atom.arity:

@@ -1,0 +1,190 @@
+"""Columnar storage and kernels for interned (dense-int) relations.
+
+A :class:`ColumnarRelation` stores one relation as parallel ``array('q')``
+columns of term ids — the layout the litmus-style engines use to make the
+paper's O(1) tuple operations cheap in practice.  The kernels below are the
+building blocks of the hot paths:
+
+* :meth:`ColumnarRelation.project` / :meth:`ColumnarRelation.index_on` —
+  the key-projection sets and positional row indexes the full reducer and
+  the enumeration phase consume;
+* :meth:`ColumnarRelation.filter_by_keys` — the hash semi-join kernel
+  (keep the rows whose key projection hits a key set);
+* :meth:`ColumnarRelation.sorted_column` / :func:`merge_intersect` /
+  :meth:`ColumnarRelation.semijoin_sorted` — sorted-run kernels for
+  single-column joins.  The reducer currently favours the hash kernels
+  (their key sets are cached per relation and reused across passes); the
+  sorted-run forms are for callers joining large, uncached key columns.
+
+Rows are plain ``tuple``\\ s of ids at the API boundary (they interoperate
+with the set-based :class:`~repro.yannakakis.relations.AtomRelation`
+machinery); the columns are the storage of record, and every kernel walks
+them with ``zip``'s C-level iteration instead of per-row Python objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["ColumnarRelation", "merge_intersect"]
+
+
+class ColumnarRelation:
+    """A relation of ``arity`` columns of interned ids (``array('q')``)."""
+
+    __slots__ = ("arity", "columns", "_length")
+
+    def __init__(self, arity: int, rows: Iterable[Sequence[int]] | None = None):
+        self.arity = arity
+        self.columns: list[array] = [array("q") for _ in range(arity)]
+        self._length = 0
+        if rows is not None:
+            self.extend(rows)
+
+    @classmethod
+    def from_rows(cls, arity: int, rows: Iterable[Sequence[int]]) -> "ColumnarRelation":
+        return cls(arity, rows)
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, row: Sequence[int]) -> None:
+        for column, value in zip(self.columns, row):
+            column.append(value)
+        self._length += 1
+
+    def extend(self, rows: Iterable[Sequence[int]]) -> None:
+        if self.arity == 0:
+            self._length += sum(1 for _ in rows)
+            return
+        columns = self.columns
+        count = 0
+        for row in rows:
+            for column, value in zip(columns, row):
+                column.append(value)
+            count += 1
+        self._length += count
+
+    # -- row access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.arity == 0:
+            return iter([()] * self._length)
+        return zip(*self.columns)
+
+    def row(self, index: int) -> tuple:
+        return tuple(column[index] for column in self.columns)
+
+    def column(self, position: int) -> array:
+        return self.columns[position]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarRelation(arity={self.arity}, {self._length} rows)"
+
+    # -- kernels -----------------------------------------------------------
+
+    def _key_iter(self, positions: tuple[int, ...]) -> Iterator[tuple]:
+        """Iterate the key tuples at ``positions`` (one zip, no row objects)."""
+        return zip(*(self.columns[p] for p in positions))
+
+    def project(self, positions: Sequence[int]) -> set[tuple]:
+        """The set of key tuples at ``positions`` (set semantics)."""
+        positions = tuple(positions)
+        if not positions:
+            return {()} if self._length else set()
+        return set(self._key_iter(positions))
+
+    def project_with_equalities(
+        self,
+        positions: Sequence[int],
+        equal_groups: Sequence[Sequence[int]] = (),
+    ) -> set[tuple]:
+        """Project onto ``positions`` keeping only rows whose ``equal_groups``
+        positions carry pairwise equal values (repeated-variable filters)."""
+        groups = [tuple(group) for group in equal_groups if len(group) > 1]
+        if not groups:
+            return self.project(positions)
+        positions = tuple(positions)
+        columns = self.columns
+        out: set[tuple] = set()
+        group_columns = [[columns[p] for p in group] for group in groups]
+        key_columns = [columns[p] for p in positions]
+        for index in range(self._length):
+            consistent = True
+            for cols in group_columns:
+                first = cols[0][index]
+                if any(col[index] != first for col in cols[1:]):
+                    consistent = False
+                    break
+            if consistent:
+                out.add(tuple(col[index] for col in key_columns))
+        return out
+
+    def index_on(self, positions: Sequence[int]) -> dict[tuple, list[tuple]]:
+        """Group full rows by their key tuple at ``positions``."""
+        positions = tuple(positions)
+        index: dict[tuple, list[tuple]] = {}
+        if not positions:
+            if self._length:
+                index[()] = list(self)
+            return index
+        for key, row in zip(self._key_iter(positions), self):
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+        return index
+
+    def filter_by_keys(
+        self, positions: Sequence[int], keys: set[tuple]
+    ) -> list[tuple]:
+        """Hash semi-join kernel: the rows whose key projection is in ``keys``."""
+        positions = tuple(positions)
+        if not positions:
+            return list(self) if keys else []
+        return [
+            row
+            for key, row in zip(self._key_iter(positions), self)
+            if key in keys
+        ]
+
+    def sorted_column(self, position: int) -> array:
+        """A sorted copy of one key column (the input to sorted-run kernels)."""
+        return array("q", sorted(self.columns[position]))
+
+    def semijoin_sorted(
+        self, position: int, other: "ColumnarRelation", other_position: int
+    ) -> list[tuple]:
+        """Single-column semi-join via sorted runs: rows of ``self`` whose
+        ``position`` value occurs in ``other``'s ``other_position`` column."""
+        keys = merge_intersect(
+            self.sorted_column(position), other.sorted_column(other_position)
+        )
+        key_set = set(keys)
+        column = self.columns[position]
+        return [row for value, row in zip(column, self) if value in key_set]
+
+
+def merge_intersect(left: array, right: array) -> array:
+    """Sorted-run intersection of two ``array('q')`` key runs (distinct keys)."""
+    out = array("q")
+    i, j = 0, 0
+    last: int | None = None
+    left_n, right_n = len(left), len(right)
+    while i < left_n and j < right_n:
+        a, b = left[i], right[j]
+        if a < b:
+            i += 1
+        elif b < a:
+            j += 1
+        else:
+            if a != last:
+                out.append(a)
+                last = a
+            i += 1
+            j += 1
+    return out

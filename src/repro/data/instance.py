@@ -70,13 +70,16 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import defaultdict
+from collections.abc import Mapping as AbstractMapping
 from collections.abc import Set as AbstractSet
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.data.columns import ColumnarRelation
 from repro.data.facts import Fact
+from repro.data.interning import TERMS, interning_enabled
 from repro.data.schema import Schema
-from repro.data.terms import is_null
+from repro.data.terms import Null, NullFactory, is_null, shared_null_factory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.incremental.delta import Delta
@@ -117,6 +120,42 @@ class FactSetView(AbstractSet):
         return f"FactSetView({set(self._resolve())!r})"
 
 
+class _DecodedIndexView(AbstractMapping):
+    """A term-keyed, read-only view over an id-keyed positional index.
+
+    Interned instances key their positional indexes by dense term ids; this
+    adapter keeps :meth:`Instance.index` presenting the historical term-tuple
+    keys to external callers (the hot paths go through
+    :meth:`Instance.probe`, which translates once and hits the raw dict).
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: dict[tuple, list[Fact]]):
+        self._raw = raw
+
+    def __getitem__(self, key: tuple) -> Sequence[Fact]:
+        ikey = TERMS.try_intern_tuple(key)
+        if ikey is None:
+            raise KeyError(key)
+        return self._raw[ikey]
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, tuple):
+            return False
+        ikey = TERMS.try_intern_tuple(key)
+        return ikey is not None and ikey in self._raw
+
+    def __iter__(self) -> Iterator[tuple]:
+        return (TERMS.decode_tuple(key) for key in self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_DecodedIndexView({len(self._raw)} keys)"
+
+
 class Instance:
     """A finite set of facts over constants and labelled nulls."""
 
@@ -127,10 +166,24 @@ class Instance:
         self._facts: set[Fact] = set()
         self._by_relation: dict[str, set[Fact]] = defaultdict(set)
         self._by_constant: dict[object, set[Fact]] = defaultdict(set)
+        # Interned backing mode, captured at construction so the index key
+        # representation stays internally consistent for this instance's
+        # whole lifetime (flipping the process default affects new
+        # instances only).  Interned indexes key buckets by dense term ids
+        # (Fact.iargs); the term-object path survives behind
+        # REPRO_NO_INTERN for A/B comparison.
+        self._interned = interning_enabled()
         # Positional indexes, keyed by (relation, positions); built lazily by
         # index() and maintained incrementally by add()/discard().
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Fact]]] = {}
         self._indexes_by_relation: dict[str, list[tuple[int, ...]]] = defaultdict(list)
+        # Columnar per-(relation, arity) stores; built lazily, invalidated
+        # per relation by _record() on every effective mutation.
+        self._columnar: dict[tuple[str, int], ColumnarRelation] = {}
+        # Fresh-null factory: draws from the process-global label counter, so
+        # nulls created through different instances (or an instance and its
+        # copies, which share the factory) never alias.
+        self._null_factory: NullFactory = shared_null_factory()
         self._version = 0
         # Mutation log: (version-after, is_add, fact) triples, enabled for
         # Database (None on plain chase instances, which nobody diffs).
@@ -146,10 +199,36 @@ class Instance:
         """Mutation counter: increases on every effective add/discard."""
         return self._version
 
+    @property
+    def interned(self) -> bool:
+        """True when this instance keys its indexes by dense term ids."""
+        return self._interned
+
+    @property
+    def null_factory(self) -> NullFactory:
+        """This instance's fresh-null factory (process-globally unique labels).
+
+        Copies share the factory object, so a copy *continues* the original's
+        label sequence instead of restarting it — two chase runs, even over
+        an instance and its copy, can never hand out the same label.
+        """
+        return self._null_factory
+
+    def fresh_null(self) -> Null:
+        """A labelled null no other factory in this process ever produced."""
+        return self._null_factory()
+
     # -- construction ----------------------------------------------------
 
     def _record(self, is_add: bool, fact: Fact) -> None:
         """Bump the version (or defer to batch exit) and log the mutation."""
+        if self._columnar:
+            # Eager, per-relation invalidation (version bumps may be
+            # deferred inside a batch): only the mutated relation's column
+            # stores drop; untouched relations keep theirs across deltas.
+            relation = fact.relation
+            for key in [k for k in self._columnar if k[0] == relation]:
+                del self._columnar[key]
         if self._batch_depth:
             self._batch_pending.append((is_add, fact))
             return
@@ -274,18 +353,22 @@ class Instance:
                 removed.add(fact)
         return Delta(added=frozenset(added), removed=frozenset(removed))
 
-    @staticmethod
-    def _index_key(positions: tuple[int, ...], fact: Fact) -> tuple | None:
-        """The fact's key in a positional index, or None if its arity is short."""
-        if all(p < fact.arity for p in positions):
-            return tuple(fact.args[p] for p in positions)
+    def _index_key(self, positions: tuple[int, ...], fact: Fact) -> tuple | None:
+        """The fact's key in a positional index, or None if its arity is short.
+
+        Interned instances key by dense term ids (``Fact.iargs``), which hash
+        and compare as machine ints; the term-object keys remain behind
+        ``REPRO_NO_INTERN``.
+        """
+        args = fact.iargs if self._interned else fact.args
+        if all(p < len(args) for p in positions):
+            return tuple(args[p] for p in positions)
         return None
 
-    @classmethod
     def _index_insert(
-        cls, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
+        self, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
     ) -> None:
-        key = cls._index_key(positions, fact)
+        key = self._index_key(positions, fact)
         if key is None:
             return
         bucket = index.get(key)
@@ -294,11 +377,10 @@ class Instance:
         else:
             bucket.append(fact)
 
-    @classmethod
     def _index_remove(
-        cls, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
+        self, index: dict[tuple, list[Fact]], positions: tuple[int, ...], fact: Fact
     ) -> None:
-        key = cls._index_key(positions, fact)
+        key = self._index_key(positions, fact)
         if key is None:
             return
         entries = index.get(key)
@@ -311,7 +393,15 @@ class Instance:
                 del index[key]
 
     def copy(self) -> "Instance":
-        return type(self)(self._facts)
+        duplicate = type(self)(self._facts)
+        # A copy clones the original's storage mode, not the (possibly
+        # flipped) process default — safe to set here because positional
+        # indexes are built lazily, so none exist yet on the duplicate.
+        duplicate._interned = self._interned
+        # Continuation, not a restart: the copy draws fresh-null labels from
+        # the same factory, so chase runs over original and copy never alias.
+        duplicate._null_factory = self._null_factory
+        return duplicate
 
     # -- basic queries ---------------------------------------------------
 
@@ -355,6 +445,20 @@ class Instance:
 
     # -- positional indexes ----------------------------------------------
 
+    def _raw_index(
+        self, relation: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[Fact]]:
+        """The backing index dict (id-keyed when interned), built lazily."""
+        key = (relation, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for fact in self._by_relation.get(relation, _EMPTY):
+                self._index_insert(index, positions, fact)
+            self._indexes[key] = index
+            self._indexes_by_relation[relation].append(positions)
+        return index
+
     def index(
         self, relation: str, positions: Iterable[int]
     ) -> Mapping[tuple, Sequence[Fact]]:
@@ -366,17 +470,15 @@ class Instance:
         whose arity does not cover every requested position are omitted (they
         cannot match an atom that binds those positions).  Treat the mapping
         and its buckets as read-only.
+
+        On an interned instance the storage is id-keyed; this accessor wraps
+        it in a term-keyed read-only view so callers are unaffected.  Hot
+        paths should use :meth:`probe`, which skips the per-key decoding.
         """
-        positions = tuple(positions)
-        key = (relation, positions)
-        index = self._indexes.get(key)
-        if index is None:
-            index = {}
-            for fact in self._by_relation.get(relation, _EMPTY):
-                self._index_insert(index, positions, fact)
-            self._indexes[key] = index
-            self._indexes_by_relation[relation].append(positions)
-        return index
+        raw = self._raw_index(relation, tuple(positions))
+        if self._interned:
+            return _DecodedIndexView(raw)
+        return raw
 
     def probe(
         self, relation: str, positions: Iterable[int], key: tuple
@@ -385,9 +487,40 @@ class Instance:
 
         Amortised O(1) plus the size of the returned bucket.  The bucket is
         live (read-only): snapshot it before mutating the instance while
-        iterating.
+        iterating.  ``key`` always holds term objects; interned instances
+        translate it to ids once (a key containing a never-seen term cannot
+        match and short-circuits to the empty bucket).
         """
-        return self.index(relation, positions).get(key, _EMPTY_BUCKET)
+        index = self._raw_index(relation, tuple(positions))
+        if self._interned:
+            ikey = TERMS.try_intern_tuple(key)
+            if ikey is None:
+                return _EMPTY_BUCKET
+            return index.get(ikey, _EMPTY_BUCKET)
+        return index.get(key, _EMPTY_BUCKET)
+
+    def columnar(self, relation: str, arity: int) -> ColumnarRelation:
+        """The facts of ``relation`` with ``arity``, as interned columns.
+
+        One ``array('q')`` column per position, rows aligned with
+        ``Fact.iargs``.  Built lazily and cached until the next mutation
+        *of this relation* (other relations' mutations leave it alive);
+        the reduction pipeline reads it after the chase has stabilised, so
+        rebuilds are rare in practice.
+        """
+        key = (relation, arity)
+        store = self._columnar.get(key)
+        if store is None:
+            store = ColumnarRelation(
+                arity,
+                (
+                    fact.iargs
+                    for fact in self._by_relation.get(relation, _EMPTY)
+                    if len(fact.args) == arity
+                ),
+            )
+            self._columnar[key] = store
+        return store
 
     def adom(self) -> set:
         """The active domain: every constant or null used in some fact."""
@@ -467,6 +600,3 @@ class Database(Instance):
         if fact.has_null():
             raise ValueError(f"databases may not contain nulls: {fact}")
         return super().add(fact)
-
-    def copy(self) -> "Database":
-        return Database(self._facts)

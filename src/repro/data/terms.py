@@ -25,6 +25,11 @@ class Null:
 
     label: int
 
+    def __hash__(self) -> int:
+        # One int hash instead of the generated ``hash((label,))`` — nulls
+        # are hashed on every set/index operation the chase performs.
+        return hash(self.label)
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"_:n{self.label}"
 
@@ -34,26 +39,49 @@ class Null:
         return NotImplemented
 
 
+#: The single process-wide label counter.  Every factory constructed
+#: without an explicit counter draws from it, so nulls created by
+#: *independent* chase runs (or by an instance and its copies) can never
+#: alias: each label is used at most once per process.
+_GLOBAL_COUNTER = itertools.count(1)
+
+
 @dataclass
 class NullFactory:
-    """Produces fresh nulls with globally increasing labels.
+    """Produces fresh nulls with process-globally unique labels.
 
     A factory is attached to a chase run so that the nulls it introduces are
-    distinct from the nulls of every other run in the same process.
+    distinct from the nulls of every other run in the same process.  The
+    default (and the right choice almost always) is to draw from the shared
+    process-wide counter; pass an explicit ``itertools.count`` only when a
+    deliberately isolated label sequence is wanted (e.g. deterministic
+    fixtures).
     """
 
-    _counter: itertools.count = field(default_factory=itertools.count)
+    _counter: itertools.count = field(default_factory=lambda: _GLOBAL_COUNTER)
 
     def __call__(self) -> Null:
         return Null(next(self._counter))
 
 
-_GLOBAL_FACTORY = NullFactory(itertools.count(1))
+_GLOBAL_FACTORY = NullFactory(_GLOBAL_COUNTER)
 
 
 def fresh_null() -> Null:
     """Return a process-wide fresh labelled null."""
     return _GLOBAL_FACTORY()
+
+
+def shared_null_factory() -> NullFactory:
+    """A factory that draws labels from the process-wide counter.
+
+    Distinct factories returned by this function interleave on the same
+    counter instead of restarting — the continuation semantics
+    :class:`~repro.data.instance.Instance` and the chase rely on so two
+    runs never hand out the same label twice.  (Equivalent to a plain
+    ``NullFactory()``; kept as the intention-revealing spelling.)
+    """
+    return NullFactory(_GLOBAL_COUNTER)
 
 
 def is_null(value: object) -> bool:

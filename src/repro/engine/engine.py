@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.data.instance import Database
+from repro.data.interning import TERMS
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.core.omq import OMQ
@@ -56,7 +57,9 @@ class EngineStats:
     maintenance); ``incremental_fallbacks`` counts mutations a maintainable
     materialization could not absorb — delta over the fallback threshold,
     delta unreconstructable from the trimmed log, or a blown chase budget —
-    and that forced a rebuild instead.
+    and that forced a rebuild instead.  ``interned_terms`` is the size of
+    the process-wide term dictionary backing the interned fact store (0 is
+    possible only under ``REPRO_NO_INTERN`` before anything interned).
     """
 
     plans_cached: int
@@ -70,6 +73,7 @@ class EngineStats:
     invalidations: int
     executions: int
     cursors_opened: int
+    interned_terms: int = 0
 
 
 class AnswerCursor:
@@ -363,4 +367,5 @@ class QueryEngine:
                 invalidations=sum(m.invalidations for m in materializations),
                 executions=self._executions,
                 cursors_opened=self._cursors_opened,
+                interned_terms=len(TERMS),
             )

@@ -11,6 +11,16 @@ consistency of the block relations (condition (iv)) guarantees that the
 walk never backtracks past an atom without producing an answer, so the
 delay between consecutive answers depends only on the query.
 
+Two engineering layers keep the constants close to the paper's RAM model:
+
+* over an interned instance (the default, see :mod:`repro.data.interning`)
+  the block relations hold dense term-id rows built by columnar kernels,
+  and ids are decoded back to terms only when an answer tuple is emitted;
+* the walk itself binds rows into a flat slot array computed at
+  preprocessing time (one slot per variable, per-atom write plans), so the
+  per-answer work is a few list writes instead of a dictionary copy per
+  visited row.
+
 :meth:`CDLinEnumerator.maintain` additionally keeps the reduced state valid
 under fact deltas — the engineering extension described in
 :mod:`repro.incremental`, not a construction from the paper.
@@ -21,6 +31,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.data.instance import Instance
+from repro.data.interning import TERMS
 from repro.cq.atoms import Atom, Variable
 from repro.cq.query import ConjunctiveQuery
 from repro.enumeration.reduction import (
@@ -56,15 +67,18 @@ class CDLinEnumerator:
         self.deduplicated, self._head_positions = query.deduplicated_head()
         self._keep_nulls = keep_nulls
         self._decomposition = decomposition
+        self._interned = instance.interned
         self.reduced: ReducedQuery = build_reduced_query(
             self.deduplicated,
             instance,
             keep_nulls=keep_nulls,
             decomposition=decomposition,
+            interned=self._interned,
         )
         self._order: list[Atom] = []
         self._indexes: dict[Atom, dict[tuple, list[tuple]]] = {}
         self._shared: dict[Atom, tuple[Variable, ...]] = {}
+        self._plan: tuple | None = None
         if not self.reduced.is_empty and self.reduced.join_tree is not None:
             self._prepare_indexes()
         self._publish()
@@ -77,7 +91,7 @@ class CDLinEnumerator:
         replaces several fields (maintenance always builds new containers
         and publishes them last, never mutating published ones).
         """
-        self._snapshot = (self.reduced, self._order, self._indexes, self._shared)
+        self._snapshot = (self.reduced, self._order, self._indexes, self._plan)
 
     # -- preprocessing ------------------------------------------------------
 
@@ -95,6 +109,40 @@ class CDLinEnumerator:
                 )
             self._shared[atom] = shared
             self._indexes[atom] = relation.index_on(shared)
+        self._plan = self._build_plan()
+
+    def _build_plan(self) -> tuple:
+        """Precompute the slot layout of the enumeration walk.
+
+        Every variable of the block join tree gets one slot in a flat value
+        array; each atom gets the slot tuple of its parent-shared key and a
+        ``(row position, slot)`` write plan for its own variables.  The walk
+        then extends an assignment by a handful of list writes instead of
+        copying a dictionary per row, and the emit step reads the answer
+        slots directly (decoding ids exactly there when interned).
+        """
+        slot_of: dict[Variable, int] = {}
+        for atom in self._order:
+            for variable in self.reduced.relations[atom].variables:
+                if variable not in slot_of:
+                    slot_of[variable] = len(slot_of)
+        key_slots: list[tuple[int, ...]] = []
+        stores: list[tuple[tuple[int, int], ...]] = []
+        for atom in self._order:
+            key_slots.append(tuple(slot_of[v] for v in self._shared[atom]))
+            stores.append(
+                tuple(
+                    (position, slot_of[v])
+                    for position, v in enumerate(
+                        self.reduced.relations[atom].variables
+                    )
+                )
+            )
+        dedup_head = self.deduplicated.answer_variables
+        final_slots = tuple(
+            slot_of[dedup_head[p]] for p in self._head_positions
+        )
+        return (tuple(key_slots), tuple(stores), final_slots, len(slot_of))
 
     # -- incremental maintenance --------------------------------------------
 
@@ -105,8 +153,10 @@ class CDLinEnumerator:
             instance,
             keep_nulls=self._keep_nulls,
             decomposition=self._decomposition,
+            interned=self._interned,
         )
         self._order, self._indexes, self._shared = [], {}, {}
+        self._plan = None
         if not self.reduced.is_empty and self.reduced.join_tree is not None:
             self._prepare_indexes()
         self._publish()
@@ -118,6 +168,7 @@ class CDLinEnumerator:
             self.reduced.query, self.reduced.head, [], None, {}, True, self._keep_nulls
         )
         self._order, self._indexes, self._shared = [], {}, {}
+        self._plan = None
         self._publish()
         return True
 
@@ -144,14 +195,19 @@ class CDLinEnumerator:
                 continue
             if not ({atom.relation for atom in component.atoms} & touched):
                 continue
-            if component_projection(component, instance, self._keep_nulls) is None:
+            if (
+                component_projection(
+                    component, instance, self._keep_nulls, interned=self._interned
+                )
+                is None
+            ):
                 return self._make_empty()
         pending: dict[Atom, set] = {}
         for block in self.reduced.blocks:
             if not ({atom.relation for atom in block.component.atoms} & touched):
                 continue
             projection = component_projection(
-                block.component, instance, self._keep_nulls
+                block.component, instance, self._keep_nulls, interned=self._interned
             )
             if projection is None:
                 return self._make_empty()
@@ -161,7 +217,12 @@ class CDLinEnumerator:
         if not pending:
             return False
         fresh = {
-            block.atom: AtomRelation(block.atom, block.variables, block.projection)
+            block.atom: AtomRelation(
+                block.atom,
+                block.variables,
+                block.projection,
+                interned=self._interned,
+            )
             for block in self.reduced.blocks
         }
         assert self.reduced.join_tree is not None
@@ -190,11 +251,6 @@ class CDLinEnumerator:
     def is_empty(self) -> bool:
         return self.reduced.is_empty
 
-    def _emit(self, assignment: dict[Variable, object]) -> tuple:
-        dedup_head = self.deduplicated.answer_variables
-        reduced_tuple = tuple(assignment[v] for v in dedup_head)
-        return tuple(reduced_tuple[p] for p in self._head_positions)
-
     def __iter__(self) -> Iterator[tuple]:
         return self.enumerate()
 
@@ -205,30 +261,39 @@ class CDLinEnumerator:
         (a single atomic reference), so an in-flight enumeration keeps a
         consistent view even if :meth:`maintain` publishes updated state
         concurrently (maintenance replaces containers instead of mutating
-        them).
+        them).  Interned ids are decoded to terms here — and only here —
+        so the emitted tuples are byte-identical to the term-object path.
         """
-        reduced, order, indexes, all_shared = self._snapshot
+        reduced, order, indexes, plan = self._snapshot
         if reduced.is_empty:
             return
         if not order:
             yield ()
             return
 
-        relations = reduced.relations
+        assert plan is not None
+        key_slots, stores, final_slots, slot_count = plan
+        index_list = [indexes[atom] for atom in order]
+        values: list = [None] * slot_count
+        depth = len(order)
+        decode = TERMS.decode if self._interned else None
 
-        def walk(position: int, assignment: dict[Variable, object]) -> Iterator[tuple]:
-            if position == len(order):
-                yield self._emit(assignment)
+        def walk(position: int) -> Iterator[tuple]:
+            if position == depth:
+                if decode is None:
+                    yield tuple(values[s] for s in final_slots)
+                else:
+                    yield tuple(decode(values[s]) for s in final_slots)
                 return
-            atom = order[position]
-            shared = all_shared[atom]
-            key = tuple(assignment[v] for v in shared)
-            for row in indexes[atom].get(key, ()):
-                extension = dict(assignment)
-                extension.update(zip(relations[atom].variables, row))
-                yield from walk(position + 1, extension)
+            key = tuple(values[s] for s in key_slots[position])
+            store = stores[position]
+            descend = position + 1
+            for row in index_list[position].get(key, ()):
+                for row_position, slot in store:
+                    values[slot] = row[row_position]
+                yield from walk(descend)
 
-        yield from walk(0, {})
+        yield from walk(0)
 
     def count(self) -> int:
         """The number of answers (materialises the enumeration)."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.instance import Instance
+from repro.data.interning import TERMS
 from repro.data.terms import is_null
 from repro.cq.acyclicity import is_acyclic
 from repro.cq.atoms import Atom, Variable
@@ -85,16 +86,20 @@ class ReducedQuery:
 
 
 def component_projection(
-    component: Component, instance: Instance, keep_nulls: bool
+    component: Component, instance: Instance, keep_nulls: bool, interned: bool = False
 ) -> set[tuple] | None:
     """Project a component's satisfying assignments onto its answer variables.
 
     Returns ``None`` when the component is unsatisfiable.  The projection is
     computed by a bottom-up semi-join pass towards the component root (all
     answer variables live in the root, so projecting the reduced root
-    relation is exact).
+    relation is exact).  With ``interned`` the atom relations hold dense
+    term ids and the null filter tests id flags instead of term types.
     """
-    relations = {atom: atom_relation(atom, instance) for atom in component.atoms}
+    relations = {
+        atom: atom_relation(atom, instance, interned=interned)
+        for atom in component.atoms
+    }
     if any(relation.is_empty() for relation in relations.values()):
         return None
     bottom_up_pass(component.tree, relations)
@@ -103,9 +108,15 @@ def component_projection(
         return None
     projection = root_relation.project(component.answer_variables)
     if not keep_nulls:
-        projection = {
-            row for row in projection if not any(is_null(value) for value in row)
-        }
+        if interned:
+            null_id = TERMS.is_null_id
+            projection = {
+                row for row in projection if not any(null_id(value) for value in row)
+            }
+        else:
+            projection = {
+                row for row in projection if not any(is_null(value) for value in row)
+            }
         if not projection and component.answer_variables:
             return None
     return projection
@@ -117,6 +128,7 @@ def build_reduced_query(
     keep_nulls: bool = False,
     require_acyclic: bool = True,
     decomposition: "FreeConnexDecomposition | None" = None,
+    interned: bool = False,
 ) -> ReducedQuery:
     """Build ``q1`` and ``D1`` from ``q0`` and ``D0``.
 
@@ -128,6 +140,10 @@ def build_reduced_query(
     computed ahead of time (it is data-independent), in which case the
     structural preprocessing — including the acyclicity check it implies —
     is skipped and only the data-dependent reduction runs.
+
+    ``interned`` builds the block relations over dense term ids (columnar
+    kernels in the reducer, id-hashing in the per-block indexes); callers
+    then decode at answer emission.  Only valid for interned instances.
     """
     if len(set(query.answer_variables)) != len(query.answer_variables):
         raise QueryError("reduce requires a head without repeated variables")
@@ -141,7 +157,9 @@ def build_reduced_query(
     relations: dict[Atom, AtomRelation] = {}
     is_empty = False
     for index, component in enumerate(decomposition.components):
-        projection = component_projection(component, instance, keep_nulls)
+        projection = component_projection(
+            component, instance, keep_nulls, interned=interned
+        )
         if projection is None:
             is_empty = True
             break
@@ -151,7 +169,10 @@ def build_reduced_query(
             continue
         block_atom = Atom(f"__block{index}__", component.answer_variables)
         relation = AtomRelation(
-            block_atom, tuple(component.answer_variables), set(projection)
+            block_atom,
+            tuple(component.answer_variables),
+            set(projection),
+            interned=interned,
         )
         block = Block(
             atom=block_atom,

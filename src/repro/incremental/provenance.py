@@ -49,7 +49,7 @@ from typing import Iterable
 
 from repro.data.facts import Fact
 from repro.data.instance import Database, Instance
-from repro.data.terms import Null, NullFactory
+from repro.data.terms import Null, NullFactory, shared_null_factory
 from repro.chase.standard import (
     ChaseNotTerminating,
     ChaseRecorder,
@@ -116,7 +116,10 @@ class ChaseMaintainer(ChaseRecorder):
         self._by_witness: dict[Fact, set[tuple]] = {}
         self._by_creation: dict[Fact, set[tuple]] = {}
         self._fired: set[tuple] = set()
-        self._fresh: NullFactory = NullFactory()
+        # Placeholder until bind() hands over the chase run's own factory;
+        # drawing from the shared counter keeps labels process-unique even
+        # if a delta is applied before any chase ran.
+        self._fresh: NullFactory = shared_null_factory()
         self._instance: Instance | None = None
 
     # -- ChaseRecorder protocol -------------------------------------------
@@ -384,7 +387,14 @@ class ChaseMaintainer(ChaseRecorder):
                     frontier_map = {
                         v: body_map[v] for v in compiled.frontiers[tgd_index]
                     }
-                    key = _trigger_key(tgd_index, frontier_map)
+                    # Key-compatible with the original run: same precompiled
+                    # variable order, same id encoding as the recorded keys.
+                    key = _trigger_key(
+                        tgd_index,
+                        frontier_map,
+                        compiled.frontier_orders[tgd_index],
+                        instance.interned,
+                    )
                     if key in self._fired:
                         continue
                     self._examine(tgd_index, key, body_map, new_facts, chase_added)

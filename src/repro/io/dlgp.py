@@ -345,8 +345,13 @@ def parse_document(text: str) -> DlgpDocument:
     """Parse a DLGP document into rules, facts and queries.
 
     Raises :class:`DlgpError` (a ``ValueError``) with 1-based line/column
-    information on any syntax or well-formedness problem.
+    information on any syntax or well-formedness problem.  A UTF-8 byte
+    order mark is tolerated (editors on some platforms prepend one) and
+    ``\\r\\n`` line endings parse like plain ``\\n``.
     """
+    # A leading BOM is not whitespace to the tokenizer; strip it so files
+    # saved as "UTF-8 with BOM" parse with unchanged positions.
+    text = text.removeprefix("\ufeff")
     # Prologue directives (@base, @prefix, ...) carry IRI arguments outside
     # our token grammar; they do not affect the abstract syntax we support,
     # so their lines are blanked wholesale (preserving line numbers).

@@ -10,6 +10,14 @@ Key-projection hash maps (:meth:`AtomRelation.project`) and row indexes
 only when the tuple set is replaced through :meth:`AtomRelation.replace_tuples`
 / :meth:`AtomRelation.clear`, so the full reducer and the enumeration phase
 build each hash map once per edge instead of once per probe.
+
+Interned relations (``interned=True``) hold rows of dense term ids instead
+of term objects and keep a lazily built columnar backing
+(:class:`~repro.data.columns.ColumnarRelation`); their projections, row
+indexes and semi-join filters run as columnar kernels over ``array('q')``
+columns.  :func:`atom_relation` builds interned rows straight from the
+instance's columnar store when the atom is constant-free, skipping the
+per-``Fact`` object walk entirely.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from repro.data.columns import ColumnarRelation
 from repro.data.instance import Instance
 from repro.cq.atoms import Atom, Variable, is_variable
 
@@ -26,23 +35,36 @@ class AtomRelation:
 
     ``tuples`` exposes the live row set for reading and iteration; mutate it
     only through :meth:`replace_tuples` / :meth:`clear` so the cached
-    projections and indexes stay consistent.
+    projections and indexes stay consistent.  When ``interned`` is set the
+    rows are dense term-id tuples (decode only at answer emission).
     """
 
-    __slots__ = ("atom", "variables", "_tuples", "_var_index", "_projections", "_indexes")
+    __slots__ = (
+        "atom",
+        "variables",
+        "interned",
+        "_tuples",
+        "_var_index",
+        "_projections",
+        "_indexes",
+        "_columns",
+    )
 
     def __init__(
         self,
         atom: Atom,
         variables: Iterable[Variable],
         tuples: Iterable[tuple] | None = None,
+        interned: bool = False,
     ):
         self.atom = atom
         self.variables: tuple[Variable, ...] = tuple(variables)
+        self.interned = interned
         self._tuples: set[tuple] = set(tuples) if tuples is not None else set()
         self._var_index = {v: i for i, v in enumerate(self.variables)}
         self._projections: dict[tuple[Variable, ...], set[tuple]] = {}
         self._indexes: dict[tuple[Variable, ...], dict[tuple, list[tuple]]] = {}
+        self._columns: ColumnarRelation | None = None
 
     @property
     def tuples(self) -> set[tuple]:
@@ -61,7 +83,9 @@ class AtomRelation:
         return not self._tuples
 
     def copy(self) -> "AtomRelation":
-        return AtomRelation(self.atom, self.variables, set(self._tuples))
+        return AtomRelation(
+            self.atom, self.variables, set(self._tuples), interned=self.interned
+        )
 
     # -- mutation (invalidates caches) ------------------------------------
 
@@ -78,6 +102,21 @@ class AtomRelation:
     def _invalidate(self) -> None:
         self._projections.clear()
         self._indexes.clear()
+        self._columns = None
+
+    # -- columnar backing --------------------------------------------------
+
+    def columns(self) -> ColumnarRelation:
+        """The rows as parallel ``array('q')`` columns (interned rows only).
+
+        Built lazily from the current row set and cached until the rows are
+        replaced; the projection/index kernels below run over it.
+        """
+        store = self._columns
+        if store is None:
+            store = ColumnarRelation(len(self.variables), self._tuples)
+            self._columns = store
+        return store
 
     # -- cached lookups ----------------------------------------------------
 
@@ -89,13 +128,17 @@ class AtomRelation:
         """The projection of the relation onto ``variables`` (set semantics).
 
         Built once per variable tuple and cached until the rows change; treat
-        the result as read-only.
+        the result as read-only.  Interned relations project by zipping the
+        backing key columns (one C-level pass, no row objects).
         """
         variables = tuple(variables)
         cached = self._projections.get(variables)
         if cached is None:
             positions = self.positions(variables)
-            cached = {tuple(row[p] for p in positions) for row in self._tuples}
+            if self.interned:
+                cached = self.columns().project(positions)
+            else:
+                cached = {tuple(row[p] for p in positions) for row in self._tuples}
             self._projections[variables] = cached
         return cached
 
@@ -103,16 +146,19 @@ class AtomRelation:
         """A hash index grouping rows by their values on ``variables``.
 
         Cached per variable tuple until the rows change; treat the result as
-        read-only.
+        read-only.  Interned relations group over the backing columns.
         """
         variables = tuple(variables)
         cached = self._indexes.get(variables)
         if cached is None:
             positions = self.positions(variables)
-            index: dict[tuple, list[tuple]] = defaultdict(list)
-            for row in self._tuples:
-                index[tuple(row[p] for p in positions)].append(row)
-            cached = dict(index)
+            if self.interned:
+                cached = self.columns().index_on(positions)
+            else:
+                index: dict[tuple, list[tuple]] = defaultdict(list)
+                for row in self._tuples:
+                    index[tuple(row[p] for p in positions)].append(row)
+                cached = dict(index)
             self._indexes[variables] = cached
         return cached
 
@@ -121,13 +167,22 @@ class AtomRelation:
         return dict(zip(self.variables, row))
 
 
-def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
+def atom_relation(
+    atom: Atom, instance: Instance, interned: bool = False
+) -> AtomRelation:
     """Materialise the assignments of ``atom`` over ``instance``.
 
     Constants in the atom act as selections and repeated variables as
     equality filters, exactly as in homomorphism matching.  The matching
     facts are fetched with one positional-index probe on the atom's constant
     positions (when it has any) instead of scanning the whole relation.
+
+    ``interned`` selects id rows: a constant-free atom is materialised by a
+    single projection kernel over the instance's columnar store, and atoms
+    with constants walk the (already id-keyed) probe bucket reading
+    ``Fact.iargs``.  Callers must only pass ``interned=True`` for instances
+    whose :attr:`~repro.data.instance.Instance.interned` flag is set, and
+    must decode ids at answer emission.
     """
     variables = tuple(sorted(atom.variables(), key=lambda v: v.name))
     var_positions: dict[Variable, list[int]] = defaultdict(list)
@@ -137,6 +192,18 @@ def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
             var_positions[term].append(position)
         else:
             constant_positions.append((position, term))
+
+    if interned and not constant_positions:
+        # Constant-free atom over an interned instance: one columnar kernel.
+        store = instance.columnar(atom.relation, atom.arity)
+        projection = tuple(var_positions[v][0] for v in variables)
+        equal_groups = tuple(
+            tuple(positions)
+            for positions in var_positions.values()
+            if len(positions) > 1
+        )
+        rows = store.project_with_equalities(projection, equal_groups)
+        return AtomRelation(atom, variables, rows, interned=True)
 
     if constant_positions:
         probe_positions = tuple(p for p, _ in constant_positions)
@@ -149,15 +216,16 @@ def atom_relation(atom: Atom, instance: Instance) -> AtomRelation:
     for fact in pool:
         if fact.arity != atom.arity:
             continue
+        args = fact.iargs if interned else fact.args
         row = []
         consistent = True
         for variable in variables:
             positions = var_positions[variable]
-            value = fact.args[positions[0]]
-            if any(fact.args[p] != value for p in positions[1:]):
+            value = args[positions[0]]
+            if any(args[p] != value for p in positions[1:]):
                 consistent = False
                 break
             row.append(value)
         if consistent:
             rows.add(tuple(row))
-    return AtomRelation(atom, variables, rows)
+    return AtomRelation(atom, variables, rows, interned=interned)

@@ -20,7 +20,9 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
 
     Returns True if any row was removed.  The join condition is equality on
     the shared variables; with no shared variables the semi-join only checks
-    that ``right`` is non-empty.
+    that ``right`` is non-empty.  Interned relations filter with the
+    columnar hash semi-join kernel over the left side's key columns; the
+    right side's key set is the cached columnar projection either way.
     """
     shared = tuple(v for v in left.variables if v in right.variables)
     if not shared:
@@ -30,9 +32,12 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
         return False
     right_keys = right.project(shared)
     positions = left.positions(shared)
-    surviving = {
-        row for row in left.tuples if tuple(row[p] for p in positions) in right_keys
-    }
+    if left.interned:
+        surviving = left.columns().filter_by_keys(positions, right_keys)
+    else:
+        surviving = [
+            row for row in left.tuples if tuple(row[p] for p in positions) in right_keys
+        ]
     if len(surviving) != len(left.tuples):
         left.replace_tuples(surviving)
         return True

@@ -106,6 +106,46 @@ def _all_body_matches(body_query, instance):
     return list(all_homomorphisms(body_query.boolean_version(), instance))
 
 
+class TestFreshNullContinuation:
+    """Regression: null labels never alias across runs or instance copies."""
+
+    OFFICE = "Researcher(x) -> HasOffice(x, y)\nOffice(x) -> InBuilding(x, y)"
+
+    def test_independent_chase_runs_never_alias_labels(self):
+        ontology = parse_ontology(self.OFFICE)
+        first = chase(Database([Fact("Researcher", ("mary",))]), ontology)
+        second = chase(Database([Fact("Researcher", ("mary",))]), ontology)
+        assert first.nulls() and second.nulls()
+        assert not ({n.label for n in first.nulls()} & {n.label for n in second.nulls()})
+
+    def test_chase_of_database_and_its_copy_never_alias_labels(self):
+        ontology = parse_ontology(self.OFFICE)
+        database = Database([Fact("Researcher", ("mary",))])
+        duplicate = database.copy()
+        first = chase(database, ontology)
+        second = chase(duplicate, ontology)
+        assert not ({n.label for n in first.nulls()} & {n.label for n in second.nulls()})
+
+    def test_instance_copies_continue_the_factory(self):
+        database = Database([Fact("Researcher", ("mary",))])
+        duplicate = database.copy()
+        assert duplicate.null_factory is database.null_factory
+        labels = {
+            database.fresh_null().label,
+            duplicate.fresh_null().label,
+            database.fresh_null().label,
+        }
+        assert len(labels) == 3
+
+    def test_interleaved_factories_stay_process_unique(self):
+        from repro.data.terms import fresh_null, shared_null_factory
+
+        factories = [shared_null_factory() for _ in range(3)]
+        labels = [factory().label for factory in factories for _ in range(5)]
+        labels.append(fresh_null().label)
+        assert len(set(labels)) == len(labels)
+
+
 class TestQueryDirectedChase:
     def test_office_example_sizes(self, office_omq, office_database):
         chased = query_directed_chase(

@@ -1,0 +1,222 @@
+"""Property-based differential tests: every engine path vs. the naive baseline.
+
+Hypothesis generates random ELI ontologies (drawn from a pool of validated
+ELI TGD templates), small random databases and acyclic, free-connex CQs,
+then asserts that every optimised evaluation path returns an answer set
+identical to ``repro.baselines.naive`` — the materialise-everything
+reference implementation:
+
+* CD∘Lin enumeration (:class:`CompleteAnswerEnumerator`),
+* the prepared-query engine, cold, cached, and incremental after database
+  mutations,
+* the interned (dictionary-encoded, columnar) store and the
+  ``REPRO_NO_INTERN`` term-object store.
+
+The tier-1 ``fast`` profile runs 60 examples per property (≥200 cases per
+run across the four properties); the ``slow``-marked sweep runs a larger
+budget and rides the nightly ``-m slow`` job.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_certain_answers
+from repro.core import OMQ
+from repro.core.enumeration import CompleteAnswerEnumerator
+from repro.cq.parser import parse_query
+from repro.data import Database, Fact, use_interning
+from repro.engine import QueryEngine
+from repro.tgds.eli import is_eli_tgd
+from repro.tgds.ontology import Ontology
+from repro.tgds.parser import parse_ontology
+
+settings.register_profile(
+    "differential-fast",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.register_profile(
+    "differential-slow",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile("differential-fast")
+
+
+# -- generators -----------------------------------------------------------
+
+#: ELI TGD templates (unary/binary symbols, single frontier variable,
+#: loop-free tree heads).  Validated against ``is_eli_tgd`` below.
+TGD_TEMPLATES = (
+    "A(x) -> R(x, y)",
+    "B(x) -> S(x, y)",
+    "R(x, y) -> B(y)",
+    "S(x, y) -> C(y)",
+    "A(x) -> B(x)",
+    "C(x) -> A(x)",
+    "R(x, y) -> A(x)",
+    "B(x) -> R(x, y)",
+    "C(x) -> S(x, y)",
+    "S(x, y) -> B(x)",
+)
+
+#: Acyclic, free-connex query templates over the same vocabulary.
+QUERY_TEMPLATES = (
+    "q(x) :- A(x)",
+    "q(x) :- B(x)",
+    "q(x, y) :- R(x, y)",
+    "q(x, y) :- S(x, y)",
+    "q(x) :- R(x, y)",
+    "q(y) :- R(x, y)",
+    "q(x, y) :- R(x, y), B(y)",
+    "q(x, y) :- R(x, y), A(x)",
+    "q(x, y, z) :- R(x, y), S(y, z)",
+    "q(x) :- A(x), B(x)",
+    "q() :- R(x, y)",
+)
+
+CONSTANTS = ("c0", "c1", "c2", "c3", "c4")
+UNARY = ("A", "B", "C")
+BINARY = ("R", "S")
+
+
+def test_tgd_templates_are_eli():
+    """The generator pool really draws from the paper's ELI fragment."""
+    for template in TGD_TEMPLATES:
+        (tgd,) = parse_ontology(template, name="t")
+        assert is_eli_tgd(tgd), template
+
+
+def test_query_templates_are_acyclic_free_connex():
+    for template in QUERY_TEMPLATES:
+        query = parse_query(template)
+        omq = OMQ.from_parts(Ontology([], name="empty"), query)
+        assert omq.is_acyclic() and omq.is_free_connex_acyclic(), template
+
+
+fact_strategy = st.one_of(
+    st.tuples(st.sampled_from(UNARY), st.sampled_from(CONSTANTS)).map(
+        lambda pair: Fact(pair[0], (pair[1],))
+    ),
+    st.tuples(
+        st.sampled_from(BINARY),
+        st.sampled_from(CONSTANTS),
+        st.sampled_from(CONSTANTS),
+    ).map(lambda triple: Fact(triple[0], (triple[1], triple[2]))),
+)
+
+facts_strategy = st.lists(fact_strategy, min_size=0, max_size=10)
+
+ontology_strategy = st.lists(
+    st.sampled_from(TGD_TEMPLATES), unique=True, min_size=0, max_size=4
+)
+
+query_strategy = st.sampled_from(QUERY_TEMPLATES)
+
+
+def _build_omq(templates: list[str], query_text: str) -> OMQ:
+    if templates:
+        ontology = parse_ontology("\n".join(templates), name="fuzz")
+    else:
+        ontology = Ontology([], name="fuzz")
+    return OMQ.from_parts(ontology, parse_query(query_text), name="Q_fuzz")
+
+
+# -- properties -----------------------------------------------------------
+
+
+@given(templates=ontology_strategy, query_text=query_strategy, facts=facts_strategy)
+def test_cdlin_enumeration_matches_naive(templates, query_text, facts):
+    """CD∘Lin (chase + reduction + constant-delay walk) == naive baseline."""
+    omq = _build_omq(templates, query_text)
+    database = Database(facts)
+    expected = naive_certain_answers(omq, database)
+    enumerated = set(CompleteAnswerEnumerator(omq, database))
+    assert enumerated == expected
+
+
+@given(templates=ontology_strategy, query_text=query_strategy, facts=facts_strategy)
+def test_engine_cold_and_cached_match_naive(templates, query_text, facts):
+    """QueryEngine first (cold) and second (plan/state cached) executions."""
+    omq = _build_omq(templates, query_text)
+    database = Database(facts)
+    expected = naive_certain_answers(omq, database)
+    engine = QueryEngine(omq.ontology, database)
+    cold = engine.execute(omq.query)
+    cached = engine.execute(omq.query)
+    assert cold == expected
+    assert cached == expected
+    assert engine.stats.plan_hits >= 1
+
+
+@given(
+    templates=ontology_strategy,
+    query_text=query_strategy,
+    facts=facts_strategy,
+    extra=st.lists(fact_strategy, min_size=1, max_size=3),
+    drop_one=st.booleans(),
+)
+def test_engine_incremental_after_mutation_matches_naive(
+    templates, query_text, facts, extra, drop_one
+):
+    """A warm engine served across mutations == naive on the mutated data."""
+    omq = _build_omq(templates, query_text)
+    database = Database(facts)
+    engine = QueryEngine(omq.ontology, database, incremental=True)
+    engine.execute(omq.query)  # warm: chase + reduced state materialised
+    database.add_facts(extra)
+    if drop_one and len(database):
+        database.discard(sorted(database.facts(), key=repr)[0])
+    expected = naive_certain_answers(omq, database)
+    assert engine.execute(omq.query) == expected
+
+
+@given(templates=ontology_strategy, query_text=query_strategy, facts=facts_strategy)
+def test_interned_and_term_stores_agree(templates, query_text, facts):
+    """The interned columnar store and the REPRO_NO_INTERN path are
+    answer-identical (and both equal the naive baseline)."""
+    omq = _build_omq(templates, query_text)
+    with use_interning(True):
+        interned_db = Database(facts)
+        assert interned_db.interned
+        interned_answers = set(CompleteAnswerEnumerator(omq, interned_db))
+        interned_engine = QueryEngine(omq.ontology, interned_db).execute(omq.query)
+    with use_interning(False):
+        term_db = Database(facts)
+        assert not term_db.interned
+        term_answers = set(CompleteAnswerEnumerator(omq, term_db))
+        expected = naive_certain_answers(omq, term_db)
+    assert interned_answers == term_answers == expected
+    assert interned_engine == expected
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    templates=ontology_strategy,
+    query_text=query_strategy,
+    facts=facts_strategy,
+    extra=st.lists(fact_strategy, min_size=1, max_size=3),
+)
+def test_differential_sweep_slow(templates, query_text, facts, extra):
+    """Nightly sweep: all paths, both stores, across a mutation."""
+    omq = _build_omq(templates, query_text)
+    for interned in (True, False):
+        with use_interning(interned):
+            database = Database(facts)
+            expected = naive_certain_answers(omq, database)
+            assert set(CompleteAnswerEnumerator(omq, database)) == expected
+            engine = QueryEngine(omq.ontology, database)
+            assert engine.execute(omq.query) == expected
+            database.add_facts(extra)
+            mutated_expected = naive_certain_answers(omq, database)
+            assert engine.execute(omq.query) == mutated_expected

@@ -116,6 +116,78 @@ class TestDlgpParse:
         assert reparsed[0].args[2] == "3" and reparsed[0].args[3] == 3
 
 
+class TestDlgpEdgeCases:
+    """Robustness: CRLF files, BOMs, comment-only documents, name clashes."""
+
+    def test_crlf_line_endings_parse_like_lf(self):
+        text = "@rules\r\nOffice(Y) :- HasOffice(X, Y).\r\n@facts\r\nHasOffice(mary, room1).\r\n"
+        document = parse_document(text)
+        assert [str(f) for f in document.facts] == ["HasOffice(mary, room1)"]
+        assert len(document.rules) == 1
+        assert document.rules == parse_document(text.replace("\r\n", "\n")).rules
+
+    def test_crlf_positions_still_point_at_the_right_line(self):
+        with pytest.raises(DlgpError) as excinfo:
+            parse_document("@facts\r\np(X).\r\n")
+        assert excinfo.value.line == 2
+
+    def test_utf8_bom_is_tolerated(self):
+        document = parse_document("\ufeff@facts\nResearcher(mary).\n")
+        assert [str(f) for f in document.facts] == ["Researcher(mary)"]
+
+    def test_bom_only_in_first_position_everything_else_unchanged(self):
+        # A BOM mid-document is still a syntax error, with its position.
+        with pytest.raises(DlgpError, match="unexpected character"):
+            parse_document("@facts\n\ufeffResearcher(mary).\n")
+
+    def test_bom_file_loads_through_the_path_frontend(self, tmp_path):
+        path = tmp_path / "rules.dlgp"
+        path.write_bytes("@rules\nOffice(Y) :- HasOffice(X, Y).\n".encode("utf-8-sig"))
+        ontology = load_ontology(path)
+        assert len(ontology) == 1
+
+    def test_comment_only_document_is_empty(self):
+        document = parse_document("% nothing here\n% still nothing\n")
+        assert (document.rules, document.facts, document.queries) == ([], [], [])
+
+    def test_comment_only_file_yields_empty_scenario_parts(self, tmp_path):
+        path = tmp_path / "empty.dlgp"
+        path.write_text("% header comment only\n")
+        assert list(load_queries(path)) == []
+
+    def test_crlf_comment_only_document_is_empty(self):
+        document = parse_document("% one\r\n% two\r\n")
+        assert (document.rules, document.facts, document.queries) == ([], [], [])
+
+    def test_query_variables_colliding_with_null_decode_names(self):
+        """Variables named like interned-null decode labels (``N1``, ``_:n…``
+        prints) and constants spelled ``n1`` must not confuse evaluation:
+        decode happens only at answer emission and never round-trips
+        through names."""
+        from repro.data import use_interning
+
+        document = parse_document(
+            "@rules\nR(X, N1) :- A(X).\n"
+            "@facts\nA(n1). R(n1, n2).\n"
+            "@queries\n[q] ?(N1, N2) :- R(N1, N2).\n"
+        )
+        ontology = document.ontology()
+        query = document.queries[0]
+        answers = {}
+        for interned in (True, False):
+            with use_interning(interned):
+                database = Database(document.facts)
+                engine = QueryEngine(ontology, database)
+                answers[interned] = engine.execute(query)
+        assert answers[True] == answers[False]
+        assert ("n1", "n2") in answers[True]
+        # Certain answers are null-free: the existential office from the
+        # rule must not leak a null decoded as a constant-looking name.
+        assert all(
+            isinstance(value, str) for answer in answers[True] for value in answer
+        )
+
+
 class TestDlgpErrors:
     @pytest.mark.parametrize(
         "text, fragment, line",
