@@ -1,0 +1,391 @@
+"""E13 — Multi-tenant query service under concurrent client load.
+
+The server tentpole claims the preprocessing/enumeration split survives the
+trip through HTTP: once each tenant's materialization is warm, serving a
+prepared query is an enumeration plus JSON encoding, so a swarm of
+concurrent clients should see low, flat latency.  This experiment boots the
+asyncio service in-process (background event-loop thread, ephemeral port),
+drives it with N keep-alive clients from real threads, and reports p50/p99
+latency plus aggregate throughput per client count.  Every response is
+checked byte-identical against a direct :class:`~repro.engine.QueryEngine`
+on an equal database; a mixed phase then runs readers against a concurrent
+mutation writer and checks every observed answer count stays within the
+monotone envelope of the write stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import math
+import statistics
+import threading
+import time
+
+from repro.bench import print_table
+from repro.engine import QueryEngine
+from repro.server import QueryService, ServiceConfig, serve
+from repro.workloads import get_workload
+
+QUERY = "q(s, a, d) :- HasAdvisor(s, a), WorksFor(a, d)"
+
+FULL_TENANTS = (("t0", "university", 400, 21), ("t1", "university", 400, 22))
+FULL_CLIENT_COUNTS = (2, 4, 8, 16)
+FULL_REQUESTS_PER_CLIENT = 25
+
+
+class ServiceHarness:
+    """Run a :class:`QueryService` on a background event-loop thread."""
+
+    def __init__(self, config: ServiceConfig, tenants) -> None:
+        self.service = QueryService(config)
+        for name, workload, size, seed in tenants:
+            self.service.create_tenant(name, workload, size=size, seed=seed)
+        self.base: str | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), name="e13-server", daemon=True
+        )
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        ready = asyncio.Event()
+        addresses: list[str] = []
+        task = asyncio.create_task(
+            serve(
+                self.service,
+                announce=addresses.append,
+                ready=ready,
+                stop=self._stop,
+                install_signal_handlers=False,
+            )
+        )
+        await ready.wait()
+        self.base = addresses[0]
+        self._ready.set()
+        await task
+
+    def __enter__(self) -> "ServiceHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service did not come up within 60s")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+class Client:
+    """One keep-alive HTTP connection, the unit of client concurrency."""
+
+    def __init__(self, base: str) -> None:
+        hostport = base.split("//", 1)[1]
+        host, port = hostport.rsplit(":", 1)
+        self._conn = http.client.HTTPConnection(host, int(port), timeout=60)
+
+    def request(self, method: str, path: str, payload=None):
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        return response.status, json.loads(response.read())
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _percentile(sorted_ms: list[float], fraction: float) -> float:
+    index = min(len(sorted_ms) - 1, max(0, math.ceil(fraction * len(sorted_ms)) - 1))
+    return sorted_ms[index]
+
+
+def _direct_answers(tenants) -> dict[str, list[list[str]]]:
+    """Expected QUERY answers per tenant from a direct in-process engine."""
+    expected = {}
+    for name, workload, size, seed in tenants:
+        scenario = get_workload(workload).scenario(size=size, seed=seed)
+        engine = QueryEngine(scenario.ontology, scenario.database)
+        expected[name] = sorted([str(t) for t in row] for row in engine.execute(QUERY))
+    return expected
+
+
+def _drive_load(base, tenant_names, clients, requests_per_client, expected):
+    """N client threads, keep-alive connections, round-robin over tenants."""
+    latencies_ms: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def worker(index: int) -> None:
+        tenant = tenant_names[index % len(tenant_names)]
+        client = Client(base)
+        try:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                started = time.perf_counter()
+                status, body = client.request(
+                    "POST", f"/tenants/{tenant}/query", {"query": QUERY}
+                )
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    latencies_ms.append(elapsed_ms)
+                    if status != 200:
+                        errors.append(f"{tenant}: HTTP {status}")
+                    elif body["answers"] != expected[tenant]:
+                        errors.append(f"{tenant}: answers diverge from direct engine")
+        except Exception as exc:
+            with lock:
+                errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"e13-client{i}")
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    latencies_ms.sort()
+    total = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests": len(latencies_ms),
+        "errors": errors,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3) if latencies_ms else None,
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3) if latencies_ms else None,
+        "mean_ms": round(statistics.fmean(latencies_ms), 3) if latencies_ms else None,
+        "throughput_rps": round(total / wall, 1) if wall else float("inf"),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def _mixed_read_write(base, tenant, readers, requests_per_reader, writes, low):
+    """Readers race a mutation writer; counts must stay in the write envelope.
+
+    The writer adds one unique ``HasAdvisor(wI, prof0)`` per round — each an
+    effective insertion extending the answer set by exactly one row — so any
+    consistent snapshot a reader can observe has between ``low`` and
+    ``low + writes`` answers, and the final count must land exactly at
+    ``low + writes``.
+    """
+    errors: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(readers + 1)
+
+    def writer() -> None:
+        client = Client(base)
+        try:
+            barrier.wait()
+            for index in range(writes):
+                status, body = client.request(
+                    "POST",
+                    f"/tenants/{tenant}/facts",
+                    {"add": [["HasAdvisor", [f"w{index}", "prof0"]]]},
+                )
+                with lock:
+                    if status != 200 or body.get("added") != 1:
+                        errors.append(f"writer: HTTP {status} {body}")
+        except Exception as exc:
+            with lock:
+                errors.append(f"writer: {type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    def reader(index: int) -> None:
+        client = Client(base)
+        try:
+            barrier.wait()
+            for _ in range(requests_per_reader):
+                status, body = client.request(
+                    "POST", f"/tenants/{tenant}/query", {"query": QUERY}
+                )
+                with lock:
+                    if status != 200:
+                        errors.append(f"reader{index}: HTTP {status}")
+                    elif not low <= body["count"] <= low + writes:
+                        errors.append(
+                            f"reader{index}: count {body['count']} outside "
+                            f"[{low}, {low + writes}]"
+                        )
+        except Exception as exc:
+            with lock:
+                errors.append(f"reader{index}: {type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=writer, name="e13-writer")] + [
+        threading.Thread(target=reader, args=(i,), name=f"e13-reader{i}")
+        for i in range(readers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    client = Client(base)
+    try:
+        _status, body = client.request(
+            "POST", f"/tenants/{tenant}/query", {"query": QUERY}
+        )
+        final = body["count"]
+    finally:
+        client.close()
+    if final != low + writes:
+        errors.append(f"final count {final} != {low + writes}")
+    return {
+        "readers": readers,
+        "writes": writes,
+        "final_answers": final,
+        "errors": errors,
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def _full_sweep() -> dict:
+    """The nightly-size experiment; shared by pytest and ``--full``."""
+    expected = _direct_answers(FULL_TENANTS)
+    names = [spec[0] for spec in FULL_TENANTS]
+    config = ServiceConfig(port=0, max_inflight=32, query_timeout=60.0)
+    with ServiceHarness(config, FULL_TENANTS) as harness:
+        sweep = []
+        for clients in FULL_CLIENT_COUNTS:
+            outcome = _drive_load(
+                harness.base, names, clients, FULL_REQUESTS_PER_CLIENT, expected
+            )
+            assert not outcome["errors"], outcome["errors"][:3]
+            assert outcome["requests"] == clients * FULL_REQUESTS_PER_CLIENT
+            sweep.append(outcome)
+        mixed = _mixed_read_write(
+            harness.base,
+            names[0],
+            readers=4,
+            requests_per_reader=15,
+            writes=20,
+            low=len(expected[names[0]]),
+        )
+        assert not mixed["errors"], mixed["errors"][:3]
+    return {"sweep": sweep, "mixed": mixed}
+
+
+def test_e13_service_load(benchmark):
+    outcome = _full_sweep()
+    print_table(
+        ["clients", "requests", "p50 (ms)", "p99 (ms)", "mean (ms)", "req/s"],
+        [
+            (
+                row["clients"],
+                row["requests"],
+                row["p50_ms"],
+                row["p99_ms"],
+                row["mean_ms"],
+                row["throughput_rps"],
+            )
+            for row in outcome["sweep"]
+        ],
+        title=(
+            f"E13  Service load, {len(FULL_TENANTS)} tenants x "
+            f"{FULL_TENANTS[0][2]} entities, {FULL_REQUESTS_PER_CLIENT} "
+            f"requests/client"
+        ),
+    )
+    mixed = outcome["mixed"]
+    print(
+        f"mixed phase: {mixed['readers']} readers vs {mixed['writes']} mutation "
+        f"batches in {mixed['wall_seconds']}s, final {mixed['final_answers']} answers"
+    )
+
+    tenants = [("bench", "university", 150, 5)]
+    expected = _direct_answers(tenants)
+    config = ServiceConfig(port=0, max_inflight=8, query_timeout=60.0)
+    with ServiceHarness(config, tenants) as harness:
+        client = Client(harness.base)
+        try:
+
+            def one_request():
+                status, body = client.request(
+                    "POST", "/tenants/bench/query", {"query": QUERY}
+                )
+                assert status == 200 and body["answers"] == expected["bench"]
+
+            benchmark(one_request)
+        finally:
+            client.close()
+
+
+def smoke() -> dict:
+    """Tiny-input smoke: 4 clients over 2 tenants, byte-identical answers."""
+    tenants = (("t0", "university", 100, 11), ("t1", "university", 100, 12))
+    expected = _direct_answers(tenants)
+    config = ServiceConfig(port=0, max_inflight=8, query_timeout=30.0)
+    with ServiceHarness(config, tenants) as harness:
+        outcome = _drive_load(
+            harness.base,
+            [spec[0] for spec in tenants],
+            clients=4,
+            requests_per_client=6,
+            expected=expected,
+        )
+    assert not outcome["errors"], outcome["errors"][:3]
+    assert outcome["requests"] == 24
+    return {
+        "tenants": len(tenants),
+        "clients": outcome["clients"],
+        "requests": outcome["requests"],
+        "p50_ms": outcome["p50_ms"],
+        "p99_ms": outcome["p99_ms"],
+        "throughput_rps": outcome["throughput_rps"],
+    }
+
+
+def _full_main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="benchmark e13_service_load (full-size run)"
+    )
+    parser.add_argument("--full", action="store_true", required=True)
+    parser.add_argument("--out", metavar="FILE", help="also write the JSON to FILE")
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    payload: dict = {"bench": "e13_service_load", "mode": "full"}
+    try:
+        payload["metrics"] = _full_sweep()
+        payload["ok"] = True
+    except Exception as exc:
+        payload["metrics"] = {}
+        payload["ok"] = False
+        payload["error"] = f"{type(exc).__name__}: {exc}"
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+    payload["seconds"] = round(time.perf_counter() - started, 4)
+    text = json.dumps(payload, indent=2) + "\n"
+    sys.stdout.write(text)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--full" in sys.argv[1:]:
+        sys.exit(_full_main())
+    from _smoke import bench_main
+
+    sys.exit(bench_main("e13_service_load", smoke))

@@ -8,6 +8,8 @@ Runs prepared-query workloads through :class:`repro.engine.QueryEngine`::
     repro run --workload university --updates 20 --update-size 5 --json
     repro convert --workload office --size 50 --out office-dump
     repro workloads
+    repro serve --workload demo --port 8080
+    repro serve --tenant acme=university --tenant beta=lubm --size 500
 
 ``run`` resolves a scenario — a registry workload (``--workload``, a name
 from ``repro workloads`` or a path to DLGP/CSV files) or explicit
@@ -24,6 +26,12 @@ queries are used.
 ``queries.dlgp`` + data files (CSV/TSV per relation, or one DLGP facts
 document) — the dump/reload pair behind the round-trip guarantees of
 ``docs/formats.md``.
+
+``serve`` starts the multi-tenant asyncio HTTP service of
+:mod:`repro.server`: one named database per ``--tenant NAME=WORKLOAD``
+(or a single ``default`` tenant from ``--workload``), query/cursor/mutation
+endpoints, admission control and per-query timeouts, and a ``/metrics``
+endpoint — see ``docs/server.md`` for the API.
 
 ``--updates N`` appends a *live-update replay*: N rounds, each applying one
 ``Database.batch()`` of random schema-shaped insertions and deletions
@@ -304,6 +312,38 @@ def _run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from repro.server import ServiceConfig
+    from repro.server.runner import run as run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        query_timeout=args.timeout,
+        page_size=args.page_size,
+        max_cursors=args.max_cursors,
+        drain_timeout=args.drain_timeout,
+        plan_cache_size=args.plan_cache_size,
+        strict=not args.no_strict,
+        incremental=not args.no_incremental,
+    )
+    tenants: list[tuple[str, str, int, int]] = []
+    for spec in args.tenant:
+        name, separator, workload = spec.partition("=")
+        if not separator or not name or not workload:
+            print(f"error: --tenant must be NAME=WORKLOAD, got {spec!r}", file=sys.stderr)
+            return 2
+        tenants.append((name, workload, args.size or 300, args.seed))
+    if not tenants:
+        tenants.append(("default", args.workload or "university", args.size or 300, args.seed))
+    try:
+        return run_server(config, tenants)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _workloads(args: argparse.Namespace) -> int:
     del args
     for name, workload in list_workloads().items():
@@ -467,6 +507,92 @@ def build_parser() -> argparse.ArgumentParser:
         "workloads", help="list registered workloads (generators and file-based)"
     )
     workloads.set_defaults(func=_workloads)
+
+    serve = subparsers.add_parser(
+        "serve", help="start the multi-tenant HTTP query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 picks an ephemeral port, announced on stdout)",
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=WORKLOAD",
+        help=(
+            "provision a named tenant from a workload (registry name or "
+            "path); repeatable"
+        ),
+    )
+    serve.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help="workload for the single 'default' tenant when no --tenant is given",
+    )
+    serve.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="database scale factor for generator workloads (default: 300)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="generator seed")
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="admission control: in-flight requests per tenant before 429",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-query timeout; enumeration is cancelled cleanly at a page boundary",
+    )
+    serve.add_argument(
+        "--page-size",
+        type=int,
+        default=100,
+        help="default cursor page size (?count=N overrides per request)",
+    )
+    serve.add_argument(
+        "--max-cursors",
+        type=int,
+        default=64,
+        help="open server-side cursors per tenant before 429",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests before cursors close",
+    )
+    serve.add_argument(
+        "--plan-cache-size",
+        type=int,
+        default=256,
+        help="capacity of the cross-tenant prepared-plan cache",
+    )
+    serve.add_argument(
+        "--no-strict",
+        action="store_true",
+        help=(
+            "serve queries outside the acyclic/free-connex class "
+            "(materialized certain answers, not constant delay)"
+        ),
+    )
+    serve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental maintenance (mutations force full rebuilds)",
+    )
+    serve.set_defaults(func=_serve)
     return parser
 
 

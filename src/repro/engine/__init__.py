@@ -21,8 +21,11 @@ from repro.engine.materialization import (
     QueryState,
 )
 from repro.engine.plan import PreparedQuery, prepare_query
+from repro.engine.stats import EngineCounters, LatencyHistogram
 
 __all__ = [
+    "EngineCounters",
+    "LatencyHistogram",
     "AnswerCursor",
     "EngineStats",
     "LRUCache",

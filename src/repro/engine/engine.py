@@ -32,7 +32,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.data.instance import Database
 from repro.data.interning import TERMS
@@ -43,6 +43,7 @@ from repro.engine.cache import LRUCache
 from repro.engine.fingerprint import ontology_fingerprint, query_fingerprint
 from repro.engine.materialization import Materialization, QueryState
 from repro.engine.plan import PreparedQuery, prepare_query
+from repro.engine.stats import EngineCounters
 from repro.tgds.ontology import Ontology
 
 QueryLike = "str | ConjunctiveQuery | OMQ | PreparedQuery"
@@ -74,6 +75,25 @@ class EngineStats:
     executions: int
     cursors_opened: int
     interned_terms: int = 0
+    cursors_open: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The snapshot as a plain dict (the ``/metrics`` wire shape)."""
+        return {
+            "plans_cached": self.plans_cached,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_evictions": self.plan_evictions,
+            "chase_builds": self.chase_builds,
+            "chase_increments": self.chase_increments,
+            "incremental_fallbacks": self.incremental_fallbacks,
+            "state_builds": self.state_builds,
+            "invalidations": self.invalidations,
+            "executions": self.executions,
+            "cursors_opened": self.cursors_opened,
+            "interned_terms": self.interned_terms,
+            "cursors_open": self.cursors_open,
+        }
 
 
 class AnswerCursor:
@@ -83,19 +103,48 @@ class AnswerCursor:
     :meth:`restart` re-acquires the (cached) materialized state, so a
     restart after a database mutation transparently re-preprocesses while a
     restart on unchanged data costs only the state lookup.
+
+    ``on_close`` hooks fire exactly once, when the cursor transitions to
+    closed — the engine registers one to maintain its open-cursor gauge,
+    and serving layers chain their own (deregistering the cursor from a
+    session table, releasing an admission slot) via :meth:`add_close_hook`.
     """
 
-    def __init__(self, engine: "QueryEngine", prepared: PreparedQuery, database: Database):
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        prepared: PreparedQuery,
+        database: Database,
+        on_close: Callable[["AnswerCursor"], None] | None = None,
+    ):
         self._engine = engine
         self._prepared = prepared
         self._database = database
         self._iterator: Iterator[tuple] | None = None
         self._closed = False
+        self._close_hooks: list[Callable[["AnswerCursor"], None]] = []
+        if on_close is not None:
+            self._close_hooks.append(on_close)
         self.restart()
 
     @property
     def prepared(self) -> PreparedQuery:
         return self._prepared
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def add_close_hook(self, hook: Callable[["AnswerCursor"], None]) -> None:
+        """Register ``hook`` to run when the cursor closes (once, LIFO).
+
+        Registering on an already-closed cursor runs the hook immediately —
+        the caller's cleanup must not be lost to that race.
+        """
+        if self._closed:
+            hook(self)
+        else:
+            self._close_hooks.append(hook)
 
     def restart(self) -> "AnswerCursor":
         """Rewind to the first answer (revalidating the materialization)."""
@@ -127,8 +176,14 @@ class AnswerCursor:
         return list(self)
 
     def close(self) -> None:
+        """Close the cursor (idempotent) and fire the close hooks once."""
+        if self._closed:
+            return
         self._closed = True
         self._iterator = None
+        hooks, self._close_hooks = self._close_hooks, []
+        for hook in reversed(hooks):
+            hook(self)
 
     def __enter__(self) -> "AnswerCursor":
         return self
@@ -150,6 +205,7 @@ class QueryEngine:
         strict: bool = True,
         incremental: bool = True,
         incremental_fallback_ratio: float = 0.1,
+        plan_cache: LRUCache[PreparedQuery] | None = None,
     ) -> None:
         self.ontology = ontology
         self.ontology_fingerprint = ontology_fingerprint(ontology)
@@ -157,7 +213,13 @@ class QueryEngine:
         self.incremental = incremental
         self.incremental_fallback_ratio = incremental_fallback_ratio
         self._default_database = database
-        self._plans: LRUCache[PreparedQuery] = LRUCache(plan_cache_size)
+        # ``plan_cache`` may be an externally owned cache shared by several
+        # engines: plan keys carry the ontology fingerprint, so engines over
+        # different ontologies can pool one cache without collisions (the
+        # multi-tenant server shares plans across tenants this way).
+        self._plans: LRUCache[PreparedQuery] = (
+            plan_cache if plan_cache is not None else LRUCache(plan_cache_size)
+        )
         # Bounded LRU over databases: evicting a live database only costs a
         # rebuild on its next use, so the engine never pins state (or the
         # databases themselves) without limit.
@@ -166,8 +228,7 @@ class QueryEngine:
         )
         self._plan_cache_size = plan_cache_size
         self._lock = threading.RLock()
-        self._executions = 0
-        self._cursors_opened = 0
+        self._counters = EngineCounters()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -268,7 +329,7 @@ class QueryEngine:
             materialization = Materialization(
                 self.ontology,
                 database,
-                state_cache_size=self._plan_cache_size,
+                state_cache_size=self._plans.capacity,
                 incremental=self.incremental,
                 fallback_ratio=self.incremental_fallback_ratio,
             )
@@ -287,6 +348,19 @@ class QueryEngine:
         for query in queries:
             self._materialized_state(self.prepare(query), resolved)
 
+    def refresh(self, database: Database | None = None) -> None:
+        """Eagerly re-sync materialized state with a mutated database.
+
+        Normally staleness is discovered lazily by the next execution; a
+        serving layer can instead call this right after committing a
+        mutation batch (while still holding its own write gate), so the
+        maintenance pass never runs concurrently with later mutations and
+        read requests find the state already current.
+        """
+        resolved = self._resolve_database(database)
+        with self._lock:
+            self._materialization(resolved).revalidate()
+
     def invalidate(self, database: Database | None = None) -> None:
         """Drop materialized state (for one database, or all of them)."""
         with self._lock:
@@ -300,14 +374,24 @@ class QueryEngine:
 
     # -- execution ---------------------------------------------------------
 
+    def _evaluate_state(self, state: QueryState) -> set[tuple]:
+        """One counted enumeration of a materialized state.
+
+        This is the function the ``execute_batch`` thread pool maps over
+        its states, so the execution counter is bumped *from the workers* —
+        the :class:`EngineCounters` lock is what keeps those concurrent
+        increments exact (a bare ``+=`` here loses updates under load).
+        """
+        answers = state.answers()
+        self._counters.bump("executions")
+        return answers
+
     def execute(self, query: QueryLike, database: Database | None = None) -> set[tuple]:
         """All complete answers of ``query`` on the database, as a set."""
         prepared = self.prepare(query)
         resolved = self._resolve_database(database)
         state = self._materialized_state(prepared, resolved)
-        with self._lock:
-            self._executions += 1
-        return state.answers()
+        return self._evaluate_state(state)
 
     def execute_batch(
         self,
@@ -327,30 +411,52 @@ class QueryEngine:
             self._materialized_state(self.prepare(query), resolved)
             for query in queries
         ]
-        with self._lock:
-            self._executions += len(states)
         if not states:
             return []
         if max_workers is None:
             max_workers = min(len(states), os.cpu_count() or 1, 8)
         if max_workers <= 1:
-            return [state.answers() for state in states]
+            return [self._evaluate_state(state) for state in states]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(QueryState.answers, states))
+            return list(pool.map(self._evaluate_state, states))
 
-    def open(self, query: QueryLike, database: Database | None = None) -> AnswerCursor:
-        """A restartable constant-delay cursor over the query's answers."""
+    def open(
+        self,
+        query: QueryLike,
+        database: Database | None = None,
+        on_close: Callable[[AnswerCursor], None] | None = None,
+    ) -> AnswerCursor:
+        """A restartable constant-delay cursor over the query's answers.
+
+        ``on_close`` is an optional lifecycle hook fired exactly once when
+        the cursor closes; the engine always chains its own hook first to
+        keep the ``cursors_open`` gauge exact.
+        """
         prepared = self.prepare(query)
         resolved = self._resolve_database(database)
-        with self._lock:
-            self._cursors_opened += 1
-        return AnswerCursor(self, prepared, resolved)
+        self._counters.bump("cursors_opened")
+        self._counters.bump("cursors_open")
+        cursor = AnswerCursor(self, prepared, resolved, on_close=self._cursor_closed)
+        if on_close is not None:
+            cursor.add_close_hook(on_close)
+        return cursor
+
+    def _cursor_closed(self, cursor: AnswerCursor) -> None:
+        del cursor
+        self._counters.bump("cursors_open", -1)
 
     # -- introspection -----------------------------------------------------
 
-    @property
-    def stats(self) -> EngineStats:
-        """Aggregate counters across the plan cache and materializations."""
+    def snapshot(self) -> EngineStats:
+        """A consistent point-in-time snapshot of every engine counter.
+
+        Cache and materialization counters are read under the engine lock
+        (their writers hold it too); the execution/cursor counters come from
+        one :class:`EngineCounters` critical section, so worker-thread
+        increments can never be observed torn.  This is the reading the
+        serving layer's ``/metrics`` endpoint publishes.
+        """
+        counters = self._counters.snapshot()
         with self._lock:
             materializations = list(self._materializations.values())
             return EngineStats(
@@ -365,7 +471,13 @@ class QueryEngine:
                 ),
                 state_builds=sum(m.state_builds for m in materializations),
                 invalidations=sum(m.invalidations for m in materializations),
-                executions=self._executions,
-                cursors_opened=self._cursors_opened,
+                executions=counters.get("executions", 0),
+                cursors_opened=counters.get("cursors_opened", 0),
                 interned_terms=len(TERMS),
+                cursors_open=counters.get("cursors_open", 0),
             )
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregate counters across the plan cache and materializations."""
+        return self.snapshot()

@@ -24,7 +24,7 @@ delay guarantee of the enumeration phase is preserved across updates; the
 paper itself treats ``D`` as static.
 """
 
-from repro.incremental.delta import Delta
+from repro.incremental.delta import Delta, apply_delta
 from repro.incremental.provenance import ChaseMaintainer, Firing, Suppressed
 
-__all__ = ["ChaseMaintainer", "Delta", "Firing", "Suppressed"]
+__all__ = ["ChaseMaintainer", "Delta", "Firing", "Suppressed", "apply_delta"]

@@ -43,3 +43,73 @@ class Delta:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Delta(+{len(self.added)}, -{len(self.removed)})"
+
+    # -- wire format -------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The JSON-encodable shape used by the HTTP mutation endpoint.
+
+        Facts become ``[relation, [arg, ...]]`` pairs, sorted for
+        deterministic payloads (tests diff them byte-for-byte).
+        """
+        return {
+            "add": sorted([f.relation, [str(a) for a in f.args]] for f in self.added),
+            "remove": sorted(
+                [f.relation, [str(a) for a in f.args]] for f in self.removed
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Delta":
+        """Parse the ``{"add": [...], "remove": [...]}`` wire shape.
+
+        Raises ``ValueError`` on malformed entries — the serving layer maps
+        that to a 400 instead of applying a partial batch.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("mutation payload must be a JSON object")
+        unknown = set(payload) - {"add", "remove"}
+        if unknown:
+            raise ValueError(f"unknown mutation keys: {sorted(unknown)}")
+        return cls(
+            added=frozenset(_fact_from_wire(e) for e in payload.get("add", ())),
+            removed=frozenset(_fact_from_wire(e) for e in payload.get("remove", ())),
+        )
+
+
+def _fact_from_wire(entry) -> Fact:
+    """One ``[relation, [arg, ...]]`` wire entry as a :class:`Fact`."""
+    if (
+        not isinstance(entry, (list, tuple))
+        or len(entry) != 2
+        or not isinstance(entry[0], str)
+        or not isinstance(entry[1], (list, tuple))
+        or not all(isinstance(arg, str) for arg in entry[1])
+    ):
+        raise ValueError(
+            f"facts must be [relation, [arg, ...]] with string entries, got {entry!r}"
+        )
+    relation, args = entry
+    if not relation:
+        raise ValueError("fact relation must be non-empty")
+    return Fact(relation, tuple(args))
+
+
+def apply_delta(database, delta: Delta) -> tuple[int, int]:
+    """Apply ``delta`` to ``database`` as **one** coalesced batch.
+
+    Everything lands inside a single ``Database.batch()``, so version
+    watchers (the engine's materializations) observe one atomic step and
+    open cursors keep enumerating the pre-batch snapshot.  Returns the
+    counts of facts actually ``(added, removed)`` — adds of present facts
+    and removes of absent facts are no-ops, mirroring ``add``/``discard``.
+    """
+    added = removed = 0
+    with database.batch():
+        for fact in sorted(delta.added, key=repr):
+            if database.add(fact):
+                added += 1
+        for fact in sorted(delta.removed, key=repr):
+            if database.discard(fact):
+                removed += 1
+    return added, removed

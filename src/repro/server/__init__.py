@@ -1,0 +1,39 @@
+"""The multi-tenant asyncio query service over the prepared-query engine.
+
+Layers (bottom up):
+
+* :mod:`repro.server.http` — a bounded stdlib HTTP/1.1 transport over
+  ``asyncio.start_server`` (no framework);
+* :mod:`repro.server.service` — tenants, the shared cross-tenant plan
+  cache, admission control, per-query timeouts with clean cursor
+  cancellation, paginated cursors, batched mutations, ``/metrics``;
+* :mod:`repro.server.runner` — process lifecycle (``repro serve``): bind,
+  announce, drain on SIGTERM/SIGINT.
+
+See ``docs/server.md`` for the endpoint reference and the tenancy model.
+"""
+
+from repro.server.http import BadRequest, HttpServer, Request, Response
+from repro.server.runner import READY_PREFIX, run, serve
+from repro.server.service import (
+    CursorSession,
+    QueryService,
+    QueryTimeout,
+    ServiceConfig,
+    Tenant,
+)
+
+__all__ = [
+    "BadRequest",
+    "CursorSession",
+    "HttpServer",
+    "QueryService",
+    "QueryTimeout",
+    "READY_PREFIX",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "Tenant",
+    "run",
+    "serve",
+]

@@ -1,0 +1,266 @@
+"""A minimal asyncio HTTP/1.1 layer for the query service.
+
+Deliberately tiny instead of a framework: the service needs exactly one
+thing from HTTP — request in, JSON response out, over keep-alive
+connections — and the stdlib ``asyncio.start_server`` stream API covers
+that in a page of code.  What this layer does handle carefully:
+
+* bounded parsing (header block and body size caps → 431/413, malformed
+  requests → 400) so a misbehaving client cannot balloon memory;
+* keep-alive with correct ``Connection`` semantics (HTTP/1.0 closes unless
+  asked, HTTP/1.1 persists unless told otherwise);
+* connection tracking, so :meth:`HttpServer.stop` can first stop accepting,
+  then let in-flight exchanges finish, then close what remains — the
+  transport half of the service's graceful shutdown.
+
+Handlers are ``async (Request) -> Response`` callables and never see
+sockets; everything above this module is plain request/response logic,
+which is what the interleaving tests drive directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Parsing caps: a request line + headers block, and a body, respectively.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(ValueError):
+    """A request the parser or a handler refuses; carries the status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    http_version: str = "1.1"
+
+    def json(self) -> dict:
+        """The body as a JSON object (empty body → empty object)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequest("JSON body must be an object")
+        return payload
+
+    def param_int(self, name: str, default: int, minimum: int = 1) -> int:
+        """An integer query parameter with a floor, 400 on garbage."""
+        raw = self.params.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise BadRequest(f"query parameter {name!r} must be an integer") from exc
+        if value < minimum:
+            raise BadRequest(f"query parameter {name!r} must be >= {minimum}")
+        return value
+
+
+@dataclass
+class Response:
+    """One HTTP response; ``json`` is the only constructor handlers use."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload, status: int = 200, **headers: str) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body, headers=headers)
+
+    @classmethod
+    def error(cls, status: int, message: str, **headers: str) -> "Response":
+        return cls.json({"error": message, "status": status}, status=status, **headers)
+
+    def encode(self, *, close: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise BadRequest("truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("request head too large", status=431) from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large", status=431)
+
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise BadRequest("request head is not ASCII") from exc
+    request_line, *header_lines = text.split("\r\n")[:-2]
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise BadRequest(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        name, separator, value = line.partition(":")
+        if not separator or not name.strip():
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    params = {name: value for name, value in parse_qsl(split.query)}
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise BadRequest("invalid Content-Length") from exc
+        if length < 0:
+            raise BadRequest("invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large", status=413)
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise BadRequest("truncated request body") from exc
+
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        params=params,
+        headers=headers,
+        body=body,
+        http_version=version.removeprefix("HTTP/"),
+    )
+
+
+class HttpServer:
+    """An asyncio stream server dispatching requests to one async handler."""
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        assert self._server is not None, "server is not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    async def start(self) -> "HttpServer":
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self._host,
+            port=self._port,
+            limit=MAX_HEADER_BYTES,
+        )
+        return self
+
+    async def stop(self, *, grace_seconds: float = 0.5) -> None:
+        """Stop accepting, give in-flight exchanges a grace period, close."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = asyncio.get_running_loop().time() + grace_seconds
+        while self._connections and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections):
+            writer.close()
+        self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except BadRequest as exc:
+                    writer.write(Response.error(exc.status, str(exc)).encode(close=True))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                try:
+                    response = await self._handler(request)
+                except BadRequest as exc:
+                    response = Response.error(exc.status, str(exc))
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    response = Response.error(500, f"{type(exc).__name__}: {exc}")
+                close = self._should_close(request)
+                writer.write(response.encode(close=close))
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to clean up
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _should_close(request: Request) -> bool:
+        connection = request.headers.get("connection", "").lower()
+        if request.http_version == "1.0":
+            return connection != "keep-alive"
+        return connection == "close"

@@ -7,6 +7,7 @@ identical to sequential per-query results, cursors, and the CLI.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -449,3 +450,108 @@ class TestCLI:
         )
         assert exit_code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStatsConcurrency:
+    """Regression tests for the stats race: counters bumped from worker
+    threads (``execute_batch`` maps over a thread pool) must never lose
+    increments, and ``snapshot()`` must be one consistent cut."""
+
+    def test_counters_survive_a_thread_hammer(self):
+        from repro.engine import EngineCounters
+
+        counters = EngineCounters()
+        threads_n, rounds = 8, 2_000
+
+        def hammer():
+            for _ in range(rounds):
+                counters.bump("executions")
+                counters.bump("pages", 3)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = counters.snapshot()
+        assert snapshot["executions"] == threads_n * rounds
+        assert snapshot["pages"] == 3 * threads_n * rounds
+
+    def test_histogram_counts_every_observation(self):
+        from repro.engine import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        threads_n, rounds = 8, 500
+
+        def hammer(seed):
+            for index in range(rounds):
+                histogram.observe(0.0001 * ((seed + index) % 50 + 1))
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == threads_n * rounds
+        assert 0 < snapshot["p50_ms"] <= snapshot["p99_ms"] <= snapshot["max_ms"]
+
+    def test_engine_counts_are_exact_under_concurrency(self, univ_omq, univ_db):
+        engine = QueryEngine(univ_omq.ontology, univ_db)
+        queries = [QUERY_TEXT, PROJECTION_TEXT]
+        threads_n, rounds = 6, 10
+
+        def hammer(seed):
+            for index in range(rounds):
+                query = queries[(seed + index) % len(queries)]
+                if index % 2:
+                    engine.execute(query)
+                else:
+                    engine.execute_batch(queries)
+                with engine.open(query) as cursor:
+                    cursor.fetchmany(4)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = engine.snapshot()
+        execute_calls = threads_n * (rounds // 2)
+        batch_calls = threads_n * (rounds - rounds // 2)
+        assert stats.executions == execute_calls + batch_calls * len(queries)
+        assert stats.cursors_opened == threads_n * rounds
+        assert stats.cursors_open == 0  # every cursor closed by its context
+
+    def test_snapshot_equals_stats_property(self, univ_omq, engine):
+        engine.execute(univ_omq.query)
+        assert engine.snapshot() == engine.stats
+        assert engine.stats.as_dict()["executions"] == 1
+
+
+class TestCursorLifecycleHooks:
+    def test_close_hooks_fire_once_in_lifo_order(self, univ_omq, engine):
+        fired = []
+        cursor = engine.open(univ_omq.query, on_close=lambda c: fired.append("init"))
+        cursor.add_close_hook(lambda c: fired.append("later"))
+        assert not cursor.closed
+        cursor.close()
+        cursor.close()  # idempotent: hooks must not fire twice
+        assert cursor.closed
+        assert fired == ["later", "init"]
+
+    def test_hook_added_after_close_runs_immediately(self, univ_omq, engine):
+        cursor = engine.open(univ_omq.query)
+        cursor.close()
+        fired = []
+        cursor.add_close_hook(lambda c: fired.append(True))
+        assert fired == [True]
+
+    def test_open_gauge_tracks_cursors(self, univ_omq, engine):
+        first = engine.open(univ_omq.query)
+        second = engine.open(univ_omq.query)
+        assert engine.snapshot().cursors_open == 2
+        first.close()
+        second.close()
+        assert engine.snapshot().cursors_open == 0

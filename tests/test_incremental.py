@@ -437,3 +437,50 @@ class TestAcceptance:
         database.add(Fact("Researcher", ("fresh",)))
         engine.execute(omq.query)
         assert materialization.chase.null_depth_bound == depth
+
+
+class TestDeltaWire:
+    """The JSON wire format the server's mutation endpoint speaks."""
+
+    def test_roundtrip_is_identity(self):
+        from repro.incremental import apply_delta
+
+        delta = Delta(
+            added=frozenset({Fact("R", ("a", "b")), Fact("S", ("c",))}),
+            removed=frozenset({Fact("R", ("x", "y"))}),
+        )
+        wire = delta.to_wire()
+        assert wire["add"] == sorted(wire["add"])  # deterministic order
+        back = Delta.from_wire(wire)
+        assert back.added == delta.added and back.removed == delta.removed
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"add": "not-a-list"},
+            {"add": [["R"]]},  # missing argument list
+            {"add": [["R", "ab"]]},  # args must be a list
+            {"add": [[42, ["a"]]]},  # relation must be a string
+            {"remove": [["R", ["a", 7]]]},  # terms must be strings
+            {"bogus": []},
+        ],
+    )
+    def test_malformed_payloads_raise_value_error(self, payload):
+        with pytest.raises(ValueError):
+            Delta.from_wire(payload)
+
+    def test_apply_delta_is_one_batch_and_reports_effective_change(self):
+        from repro.incremental import apply_delta
+
+        database = Database([Fact("R", ("a", "b")), Fact("R", ("x", "y"))])
+        version_before = database.version
+        delta = Delta.from_wire(
+            {
+                "add": [["R", ["a", "b"]], ["S", ["new"]]],  # one is a no-op
+                "remove": [["R", ["x", "y"]], ["R", ["gone", "gone"]]],
+            }
+        )
+        added, removed = apply_delta(database, delta)
+        assert (added, removed) == (1, 1)
+        # One coalesced batch: exactly one version step for the whole delta.
+        assert database.version == version_before + 1

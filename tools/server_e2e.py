@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""End-to-end check of ``repro serve``: HTTP answers == direct engine answers.
+
+CI's ``server-e2e`` job runs this script.  It
+
+1. boots ``repro serve`` as a real subprocess on an ephemeral port,
+2. drives it like a client: execute a query, paginate a cursor, apply a
+   mutation batch **mid-cursor**, re-query,
+3. replays the identical workload and mutations through a direct
+   :class:`repro.engine.QueryEngine` in this process and asserts every
+   answer set is byte-identical — the paginated cursor must finish over the
+   *pre-batch* snapshot, the re-query must see the post-batch database,
+4. shuts the server down with SIGTERM and asserts a clean exit with no
+   leaked process.
+
+Exit status 0 only if every step holds.  Run locally with::
+
+    PYTHONPATH=src python tools/server_e2e.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+WORKLOAD = "university"
+SIZE = 150
+SEED = 7
+QUERY = "q(s, a, d) :- HasAdvisor(s, a), WorksFor(a, d)"
+PAGE_QUERY = "q(s, a) :- HasAdvisor(s, a)"
+MUTATION = {
+    "add": [
+        ["HasAdvisor", ["e2e_student", "prof0"]],
+        ["WorksFor", ["prof0", "dept0"]],
+        ["HasAdvisor", ["e2e_student2", "prof1"]],
+    ],
+    "remove": [],
+}
+
+
+def request(base: str, method: str, path: str, payload: dict | None = None):
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def wait_ready(proc: subprocess.Popen) -> str:
+    """Read the ready line off the server's stdout; fail fast on exit."""
+    assert proc.stdout is not None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            stderr = proc.stderr.read() if proc.stderr else ""
+            raise SystemExit(f"server exited early ({proc.returncode}):\n{stderr}")
+        line = proc.stdout.readline().strip()
+        if line.startswith("repro-server listening on "):
+            return line.rsplit(" ", 1)[-1]
+    raise SystemExit("server never printed its ready line")
+
+
+def direct_answers(mutated: bool) -> tuple[list[list[str]], list[list[str]]]:
+    """(QUERY answers, PAGE_QUERY answers) from a direct engine run."""
+    from repro.engine import QueryEngine
+    from repro.incremental.delta import Delta, apply_delta
+    from repro.workloads import get_workload
+
+    scenario = get_workload(WORKLOAD).scenario(size=SIZE, seed=SEED)
+    engine = QueryEngine(scenario.ontology, scenario.database)
+    if mutated:
+        apply_delta(scenario.database, Delta.from_wire(MUTATION))
+    return (
+        sorted([str(t) for t in row] for row in engine.execute(QUERY)),
+        sorted([str(t) for t in row] for row in engine.execute(PAGE_QUERY)),
+    )
+
+
+def check(label: str, actual, expected) -> None:
+    if actual != expected:
+        raise SystemExit(
+            f"MISMATCH [{label}]: served answers differ from the direct engine\n"
+            f"  served:   {len(actual)} rows\n  expected: {len(expected)} rows"
+        )
+    print(f"ok: {label} ({len(expected)} rows byte-identical)")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src if not env.get("PYTHONPATH") else os.pathsep.join([src, env["PYTHONPATH"]])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workload",
+            WORKLOAD,
+            "--size",
+            str(SIZE),
+            "--seed",
+            str(SEED),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    try:
+        base = wait_ready(proc)
+        print(f"server up at {base} (pid {proc.pid})")
+
+        pre_query, pre_page = direct_answers(mutated=False)
+        post_query, _post_page = direct_answers(mutated=True)
+
+        # 1. plain query
+        status, body = request(base, "POST", "/tenants/default/query", {"query": QUERY})
+        assert status == 200, f"query returned {status}"
+        check("query (pre-mutation)", body["answers"], pre_query)
+
+        # 2. open a cursor and fetch the first page
+        status, body = request(
+            base, "POST", "/tenants/default/cursors", {"query": PAGE_QUERY}
+        )
+        assert status == 201, f"cursor open returned {status}"
+        cursor = body["cursor"]
+        status, body = request(
+            base, "GET", f"/tenants/default/cursors/{cursor}?count=7"
+        )
+        assert status == 200 and not body["done"], "first page should not exhaust"
+        collected = body["answers"]
+
+        # 3. mutation batch lands while the cursor is mid-flight
+        status, body = request(base, "POST", "/tenants/default/facts", MUTATION)
+        assert status == 200, f"mutation returned {status}"
+        assert body["added"] == 3, f"expected 3 effective adds, got {body['added']}"
+
+        # 4. drain the cursor: must finish over the PRE-batch snapshot
+        while True:
+            status, body = request(
+                base, "GET", f"/tenants/default/cursors/{cursor}?count=50"
+            )
+            assert status == 200, f"page returned {status}"
+            collected.extend(body["answers"])
+            if body["done"]:
+                break
+        check("cursor across mid-flight mutation (pre-batch snapshot)",
+              sorted(collected), pre_page)
+
+        # 5. a fresh query sees the post-batch database
+        status, body = request(base, "POST", "/tenants/default/query", {"query": QUERY})
+        assert status == 200
+        check("query (post-mutation)", body["answers"], post_query)
+
+        # 6. metrics are alive and consistent
+        status, body = request(base, "GET", "/metrics")
+        assert status == 200
+        tenant = body["tenants"]["default"]
+        assert tenant["counters"]["queries"] == 2, tenant["counters"]
+        assert body["engine"]["chase_increments"] >= 1, (
+            "mutation should have been maintained incrementally"
+        )
+        print("ok: metrics (2 queries counted, incremental maintenance ticked)")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            returncode = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            raise SystemExit("LEAK: server did not exit on SIGTERM within 30s")
+
+    if returncode != 0:
+        stderr = proc.stderr.read() if proc.stderr else ""
+        raise SystemExit(f"server exited nonzero ({returncode}):\n{stderr}")
+    print(f"ok: graceful shutdown, exit status {returncode}, no leaked process")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())
