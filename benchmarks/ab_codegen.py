@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""A/B gate: per-plan code generation vs. the interpreted inner loops.
+
+Runs the enumeration phase of the E5/E11 workloads (office and university)
+twice — once with codegen enabled, once over the interpreted slot-plan and
+kernel paths (``REPRO_NO_CODEGEN`` equivalent) — on the same database, and
+reports the speedup.  Answer sets must be byte-identical between the modes;
+preprocessing (chase + reduction) is excluded from the timing, because the
+compiled closures only cover the per-answer walk.
+
+CI calls this with ``--gate`` after the smoke sweep::
+
+    python benchmarks/ab_codegen.py --gate
+
+and fails the build if codegen-on is not at least ``--min-speedup`` (default
+1.5×) faster than codegen-off on every workload.  Each mode's measurement is
+the best of ``--best-of`` batches of ``--loops`` full enumerations, which
+keeps the measured spans tens of milliseconds — far above timer noise —
+while the whole gate stays under a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import use_codegen
+from repro.core import CompleteAnswerEnumerator
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+WORKLOADS = (
+    ("e5_office", office_omq, generate_office_database),
+    ("e11_university", university_omq, generate_university_database),
+)
+
+
+def _enumeration_seconds(enumerator, loops: int, best_of: int) -> float:
+    """Best total wall time of ``loops`` full enumerations."""
+    best = float("inf")
+    for _ in range(best_of):
+        start = time.perf_counter()
+        for _ in range(loops):
+            for _answer in enumerator.enumerate():
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def ab_workload(
+    label: str, omq, generator, size: int, loops: int, best_of: int
+) -> dict:
+    database = generator(size, seed=size)
+    timings: dict[bool, float] = {}
+    answers: dict[bool, set] = {}
+    for mode in (True, False):
+        with use_codegen(mode):
+            # The enumerator captures the codegen flag at construction.
+            enumerator = CompleteAnswerEnumerator(omq, database)
+            answers[mode] = set(enumerator)  # warm-up + correctness witness
+            timings[mode] = _enumeration_seconds(enumerator, loops, best_of)
+    if answers[True] != answers[False]:
+        raise AssertionError(
+            f"{label}: codegen-on and codegen-off answer sets differ "
+            f"({len(answers[True])} vs {len(answers[False])} answers)"
+        )
+    return {
+        "workload": label,
+        "size": size,
+        "answers": len(answers[True]),
+        "codegen_on_seconds": round(timings[True], 6),
+        "codegen_off_seconds": round(timings[False], 6),
+        "speedup": round(timings[False] / timings[True], 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 unless every workload speeds up by --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="required codegen-on vs codegen-off ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=1600, help="database scale factor"
+    )
+    parser.add_argument(
+        "--loops", type=int, default=20, help="enumerations per measured batch"
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=5, help="measured batches per mode"
+    )
+    args = parser.parse_args(argv)
+
+    reports = [
+        ab_workload(label, omq_factory(), generator, args.size, args.loops, args.best_of)
+        for label, omq_factory, generator in WORKLOADS
+    ]
+    json.dump({"reports": reports, "min_speedup": args.min_speedup}, sys.stdout)
+    sys.stdout.write("\n")
+
+    failures = [
+        report
+        for report in reports
+        if args.gate and report["speedup"] < args.min_speedup
+    ]
+    for report in failures:
+        print(
+            f"FAIL {report['workload']}: codegen speedup {report['speedup']}x "
+            f"< required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,13 @@ and the ``docs/`` tree (``docs/architecture.md`` in particular) for the
 layer-by-layer walkthrough.
 """
 
+from repro.config import (
+    ExecutionOptions,
+    set_codegen,
+    set_interning,
+    use_codegen,
+    use_interning,
+)
 from repro.data import Database, Fact, Instance, Schema
 from repro.cq import Atom, ConjunctiveQuery, Variable, parse_query
 from repro.tgds import TGD, Ontology, parse_ontology, parse_tgd
@@ -29,6 +36,7 @@ __all__ = [
     "ConjunctiveQuery",
     "Database",
     "Delta",
+    "ExecutionOptions",
     "Fact",
     "Instance",
     "Ontology",
@@ -51,6 +59,10 @@ __all__ = [
     "parse_tgd",
     "prepare_query",
     "query_directed_chase",
+    "set_codegen",
+    "set_interning",
+    "use_codegen",
+    "use_interning",
 ]
 
 __version__ = "0.1.0"

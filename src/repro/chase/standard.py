@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.config import codegen_enabled
 from repro.data.facts import Fact
 from repro.data.instance import Instance
 from repro.data.interning import TERMS
@@ -242,11 +243,24 @@ def _trigger_key(
     return (tgd_index, values)
 
 
+def _single_body_matcher(atom: Atom, codegen: bool | None = None):
+    """The generated per-fact matcher of ``atom``, or ``None`` (generic path).
+
+    Lazy import: :mod:`repro.engine.codegen` sits in a higher layer.  The
+    generated function is exactly ``match_atom(atom, fact, {})`` with the
+    arity check, constant comparisons and repeated-variable checks unrolled.
+    """
+    from repro.engine.codegen import maybe_single_body_matcher
+
+    return maybe_single_body_matcher(atom, codegen)
+
+
 def _delta_body_maps(
     tgd: TGD,
     body_query: ConjunctiveQuery,
     instance: Instance,
     delta: Sequence[Fact],
+    codegen: bool | None = None,
 ) -> list[dict[Variable, object]]:
     """Body homomorphisms of ``tgd`` that use at least one fact of ``delta``.
 
@@ -263,6 +277,7 @@ def _delta_body_maps(
     body = tuple(tgd.body)
     if len(body) == 1:
         atom = body[0]
+        matcher = _single_body_matcher(atom, codegen)
         maps: list[dict[Variable, object]] = []
         seen_single: set[Fact] = set()
         for fact in delta:
@@ -272,7 +287,9 @@ def _delta_body_maps(
             ):
                 continue
             seen_single.add(fact)
-            partial = match_atom(atom, fact, {})
+            partial = (
+                matcher(fact) if matcher is not None else match_atom(atom, fact, {})
+            )
             if partial is not None:
                 maps.append(partial)
         return maps
@@ -301,6 +318,7 @@ def chase(
     max_rounds: int = 10_000,
     oblivious: bool = False,
     recorder: ChaseRecorder | None = None,
+    codegen: bool | None = None,
 ) -> ChaseResult:
     """Run the chase of ``database`` with ``ontology``.
 
@@ -311,8 +329,12 @@ def chase(
     raise :class:`ChaseNotTerminating` when exhausted.  ``recorder``, when
     given, observes every fired and suppressed trigger (see
     :class:`ChaseRecorder`); it is how the incremental-maintenance subsystem
-    captures provenance without slowing down plain runs.
+    captures provenance without slowing down plain runs.  ``codegen``
+    selects the generated single-atom-body matchers (``None`` → process
+    default, see :mod:`repro.config`).
     """
+    if codegen is None:
+        codegen = codegen_enabled()
     instance = Instance(database)
     base_constants = frozenset(instance.constants())
     null_depth: dict[Null, int] = {}
@@ -359,15 +381,24 @@ def chase(
                 if single is not None:
                     # Single-atom body: every matching fact is a body map,
                     # no search machinery needed (the dominant TGD shape).
+                    matcher = _single_body_matcher(single, codegen)
                     body_maps = []
-                    for fact in instance.relation(single.relation):
-                        body_map = match_atom(single, fact, {})
-                        if body_map is not None:
-                            body_maps.append(body_map)
+                    if matcher is not None:
+                        for fact in instance.relation(single.relation):
+                            body_map = matcher(fact)
+                            if body_map is not None:
+                                body_maps.append(body_map)
+                    else:
+                        for fact in instance.relation(single.relation):
+                            body_map = match_atom(single, fact, {})
+                            if body_map is not None:
+                                body_maps.append(body_map)
                 else:
                     body_maps = list(all_homomorphisms(body_query, instance))
             else:
-                body_maps = _delta_body_maps(tgd, body_query, instance, delta)
+                body_maps = _delta_body_maps(
+                    tgd, body_query, instance, delta, codegen
+                )
             for body_map in body_maps:
                 frontier_map = {v: body_map[v] for v in frontiers[tgd_index]}
                 if oblivious:

@@ -47,6 +47,7 @@ Every subcommand and flag is documented in ``docs/cli.md``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import random
 import sys
@@ -54,9 +55,9 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from repro.config import ExecutionOptions, use_codegen, use_interning
 from repro.data.facts import Fact
 from repro.data.instance import Database
-from repro.data.interning import use_interning
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.engine import QueryEngine
@@ -180,13 +181,16 @@ def _replay_updates(
 
 
 def _run(args: argparse.Namespace) -> int:
-    if args.no_intern:
-        # Scoped around the whole run (scenario load included — instances
-        # capture the interning flag at construction) and restored on exit,
-        # so in-process callers of main() keep the process default.
-        with use_interning(False):
-            return _run_command(args)
-    return _run_command(args)
+    # Scoped around the whole run (scenario load included — instances
+    # capture the interning flag at construction, enumerators the codegen
+    # flag) and restored on exit, so in-process callers of main() keep the
+    # process defaults.
+    with contextlib.ExitStack() as stack:
+        if args.no_intern:
+            stack.enter_context(use_interning(False))
+        if args.no_codegen:
+            stack.enter_context(use_codegen(False))
+        return _run_command(args)
 
 
 def _run_command(args: argparse.Namespace) -> int:
@@ -201,8 +205,12 @@ def _run_command(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         scenario.ontology,
         database,
-        strict=not args.no_strict,
-        incremental=not args.no_incremental,
+        options=ExecutionOptions(
+            interning=False if args.no_intern else None,
+            codegen=False if args.no_codegen else None,
+            incremental=not args.no_incremental,
+            strict=not args.no_strict,
+        ),
     )
     prep_started = time.perf_counter()
     try:
@@ -271,6 +279,8 @@ def _run_command(args: argparse.Namespace) -> int:
             "incremental_fallbacks": stats.incremental_fallbacks,
             "state_builds": stats.state_builds,
             "invalidations": stats.invalidations,
+            "plans_compiled": stats.plans_compiled,
+            "codegen_cache_hits": stats.codegen_cache_hits,
         },
     }
     if updates_report is not None:
@@ -327,6 +337,7 @@ def _serve(args: argparse.Namespace) -> int:
         plan_cache_size=args.plan_cache_size,
         strict=not args.no_strict,
         incremental=not args.no_incremental,
+        codegen=False if args.no_codegen else None,
     )
     tenants: list[tuple[str, str, int, int]] = []
     for spec in args.tenant:
@@ -482,6 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
             "over term objects, as with REPRO_NO_INTERN=1 (A/B escape hatch)"
         ),
     )
+    run.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help=(
+            "disable per-plan code generation and run the interpreted "
+            "slot-plan/kernel paths, as with REPRO_NO_CODEGEN=1 "
+            "(A/B escape hatch)"
+        ),
+    )
     run.set_defaults(func=_run)
 
     convert = subparsers.add_parser(
@@ -591,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-incremental",
         action="store_true",
         help="disable incremental maintenance (mutations force full rebuilds)",
+    )
+    serve.add_argument(
+        "--no-codegen",
+        action="store_true",
+        help="serve over the interpreted slot-plan/kernel paths (no codegen)",
     )
     serve.set_defaults(func=_serve)
     return parser

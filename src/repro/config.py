@@ -1,0 +1,181 @@
+"""Unified execution configuration: one options object, one switch module.
+
+Three generations of tuning knobs accumulated as the engine grew — the
+interning switch of the columnar store (``REPRO_NO_INTERN`` /
+``set_interning``), the incremental-maintenance kwargs of the prepared-query
+engine (``incremental``, ``incremental_fallback_ratio``, ``plan_cache_size``,
+``strict``), and now the per-plan code generation of
+:mod:`repro.engine.codegen` (``REPRO_NO_CODEGEN`` / ``set_codegen``).  This
+module is their single home:
+
+* :class:`ExecutionOptions` — one frozen dataclass carrying every knob, the
+  object :class:`repro.engine.QueryEngine`, :class:`repro.server.QueryService`
+  and the CLI consume;
+* the process-wide boolean switches (``set_interning`` / ``use_interning``,
+  ``set_codegen`` / ``use_codegen``) with their environment-variable
+  defaults — the A/B escape hatches the differential suite flips.
+
+**Precedence** (most specific wins):
+
+1. an *explicit keyword argument* at a call site
+   (``QueryEngine(..., strict=False)``);
+2. the :class:`ExecutionOptions` object passed to that component
+   (``QueryEngine(..., options=ExecutionOptions(strict=False))``);
+3. the process default — the environment variables ``REPRO_NO_INTERN`` and
+   ``REPRO_NO_CODEGEN`` read at import time, as later adjusted by
+   ``set_interning`` / ``set_codegen``.
+
+The historical entry points ``repro.data.interning.set_interning`` /
+``use_interning`` still work but delegate here with a
+:class:`DeprecationWarning`; see ``docs/engine.md`` for the migration table.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+__all__ = [
+    "ExecutionOptions",
+    "codegen_enabled",
+    "interning_enabled",
+    "resolve_option",
+    "set_codegen",
+    "set_interning",
+    "use_codegen",
+    "use_interning",
+]
+
+
+def _env_disabled(variable: str) -> bool:
+    """True when ``variable`` holds one of the documented truthy spellings."""
+    return os.environ.get(variable, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+# Process-wide defaults, captured from the environment once at import time.
+# ``set_interning`` / ``set_codegen`` adjust them afterwards; a lock keeps
+# the read-modify-write of the toggles well-defined under threads (reads are
+# single dict-free attribute loads and stay lock-free).
+_STATE_LOCK = threading.Lock()
+_INTERNING = not _env_disabled("REPRO_NO_INTERN")
+_CODEGEN = not _env_disabled("REPRO_NO_CODEGEN")
+
+
+def interning_enabled() -> bool:
+    """Whether newly created instances use the interned backing (default on)."""
+    return _INTERNING
+
+
+def set_interning(enabled: bool) -> bool:
+    """Flip the process-wide interning default; returns the previous setting.
+
+    Only instances created *after* the call are affected: every
+    :class:`~repro.data.instance.Instance` captures the flag at construction
+    so its indexes stay internally consistent.
+    """
+    global _INTERNING
+    with _STATE_LOCK:
+        previous = _INTERNING
+        _INTERNING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_interning(enabled: bool) -> Iterator[None]:
+    """Context manager scoping :func:`set_interning` (A/B test helper)."""
+    previous = set_interning(enabled)
+    try:
+        yield
+    finally:
+        set_interning(previous)
+
+
+def codegen_enabled() -> bool:
+    """Whether per-plan code generation is on (default on).
+
+    Controls both the process-wide arity-specialised kernels (columnar
+    semi-joins, null filters, chase matchers) and the default for engines
+    and enumerators that were not given an explicit ``codegen`` setting.
+    """
+    return _CODEGEN
+
+
+def set_codegen(enabled: bool) -> bool:
+    """Flip the process-wide codegen default; returns the previous setting.
+
+    Takes effect immediately for the shared kernels and for enumerators
+    constructed afterwards; already-compiled closures keep running (they are
+    byte-identical to the interpreted path by construction).
+    """
+    global _CODEGEN
+    with _STATE_LOCK:
+        previous = _CODEGEN
+        _CODEGEN = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_codegen(enabled: bool) -> Iterator[None]:
+    """Context manager scoping :func:`set_codegen` (A/B test helper)."""
+    previous = set_codegen(enabled)
+    try:
+        yield
+    finally:
+        set_codegen(previous)
+
+
+def resolve_option(explicit, options_value, default):
+    """Apply the documented precedence: explicit arg > options > default.
+
+    ``None`` marks "not given" at the first two levels, so a component
+    resolves each knob with one call::
+
+        strict = resolve_option(strict_kwarg, options.strict, True)
+    """
+    if explicit is not None:
+        return explicit
+    if options_value is not None:
+        return options_value
+    return default
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every engine tuning knob in one (immutable) place.
+
+    ``None`` fields mean "use the process default" — for ``interning`` and
+    ``codegen`` that default is the environment-aware process switch above,
+    resolved at the moment the option is consumed, so a context manager like
+    :func:`use_codegen` still wins over an unset field.
+
+    * ``interning`` — dictionary-encode terms to dense ids (columnar store).
+    * ``codegen`` — compile per-plan closures for the enumeration walk,
+      semi-join kernels and single-atom chase rounds.
+    * ``incremental`` — maintain materializations in place under mutations.
+    * ``incremental_fallback_ratio`` — delta size (fraction of the database)
+      above which a full rebuild beats in-place maintenance.
+    * ``plan_cache_size`` — capacity of the prepared-plan LRU.
+    * ``strict`` — reject queries outside the acyclic ∧ free-connex class.
+    """
+
+    interning: bool | None = None
+    codegen: bool | None = None
+    incremental: bool = True
+    incremental_fallback_ratio: float = 0.1
+    plan_cache_size: int = 64
+    strict: bool = True
+
+    def resolved_interning(self) -> bool:
+        """The interning flag with the process default filled in."""
+        return interning_enabled() if self.interning is None else self.interning
+
+    def resolved_codegen(self) -> bool:
+        """The codegen flag with the process default filled in."""
+        return codegen_enabled() if self.codegen is None else self.codegen
+
+    def replace(self, **changes) -> "ExecutionOptions":
+        """A copy with ``changes`` applied (dataclass ``replace`` sugar)."""
+        return replace(self, **changes)

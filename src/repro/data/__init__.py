@@ -14,16 +14,11 @@ columnar kernels the reduction/enumeration pipeline runs over.  Set
 fall back to the historical term-object path for A/B comparison.
 """
 
+from repro.config import interning_enabled, set_interning, use_interning
 from repro.data.columns import ColumnarRelation
 from repro.data.facts import Fact
 from repro.data.instance import Database, Instance
-from repro.data.interning import (
-    TERMS,
-    TermDictionary,
-    interning_enabled,
-    set_interning,
-    use_interning,
-)
+from repro.data.interning import TERMS, TermDictionary
 from repro.data.schema import Schema
 from repro.data.terms import Null, fresh_null, is_null, shared_null_factory
 

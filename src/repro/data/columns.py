@@ -27,7 +27,23 @@ from __future__ import annotations
 from array import array
 from typing import Iterable, Iterator, Sequence
 
+from repro.config import codegen_enabled
+
 __all__ = ["ColumnarRelation", "merge_intersect"]
+
+#: Resolved lazily: :mod:`repro.engine.codegen` sits in a higher layer, so
+#: importing it at module load would invert the package layering.
+_key_kernels = None
+
+
+def _kernels(arity: int):
+    """The arity-specialised kernel family, or ``None`` (generic path)."""
+    global _key_kernels
+    if _key_kernels is None:
+        from repro.engine.codegen import key_kernels
+
+        _key_kernels = key_kernels
+    return _key_kernels(arity)
 
 
 class ColumnarRelation:
@@ -131,6 +147,11 @@ class ColumnarRelation:
             if self._length:
                 index[()] = list(self)
             return index
+        if codegen_enabled():
+            kernels = _kernels(len(positions))
+            if kernels is not None:
+                columns = self.columns
+                return kernels.index_rows([columns[p] for p in positions], self)
         for key, row in zip(self._key_iter(positions), self):
             bucket = index.get(key)
             if bucket is None:
@@ -146,6 +167,11 @@ class ColumnarRelation:
         positions = tuple(positions)
         if not positions:
             return list(self) if keys else []
+        if codegen_enabled():
+            kernels = _kernels(len(positions))
+            if kernels is not None:
+                columns = self.columns
+                return kernels.filter_rows([columns[p] for p in positions], self, keys)
         return [
             row
             for key, row in zip(self._key_iter(positions), self)

@@ -25,11 +25,14 @@ differential test-suite exercises.
 
 from __future__ import annotations
 
-import os
 import threading
+import warnings
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
+from repro.config import interning_enabled
+from repro.config import set_interning as _set_interning
+from repro.config import use_interning as _use_interning
 from repro.data.terms import is_null
 
 __all__ = [
@@ -133,46 +136,56 @@ class TermDictionary:
         """True if ``tid`` encodes a labelled null (one flag load)."""
         return bool(self._null_flags[tid])
 
+    def decoder(self):
+        """A positional decode callable — the table's C-level ``__getitem__``.
+
+        The decode table is append-only and never replaced, so the bound
+        method stays valid forever; generated enumeration walks call it once
+        per emitted value instead of going through :meth:`decode`.
+        """
+        return self._terms.__getitem__
+
+    def null_flags(self) -> bytearray:
+        """The id-indexed null-flag table (append-only, never replaced).
+
+        Exposed for the generated null filters, which index it directly
+        instead of calling :meth:`is_null_id` per value.
+        """
+        return self._null_flags
+
 
 #: The process-wide dictionary every interned structure shares.
 TERMS = TermDictionary()
 
 
-def _env_enabled() -> bool:
-    return os.environ.get("REPRO_NO_INTERN", "").strip().lower() not in (
-        "1",
-        "true",
-        "yes",
-        "on",
-    )
-
-
-_ENABLED = _env_enabled()
-
-
-def interning_enabled() -> bool:
-    """Whether newly created instances use the interned backing (default on)."""
-    return _ENABLED
+# -- deprecated switch entry points ---------------------------------------
+#
+# The interning toggle moved to :mod:`repro.config` (one module for every
+# execution switch, with a documented precedence order).  These wrappers
+# keep the historical import path working for one release; new code should
+# use ``repro.config.set_interning`` / ``use_interning`` or pass an
+# :class:`repro.config.ExecutionOptions` to the engine.
 
 
 def set_interning(enabled: bool) -> bool:
-    """Flip the process-wide default; returns the previous setting.
-
-    Only instances created *after* the call are affected: every
-    :class:`~repro.data.instance.Instance` captures the flag at construction
-    so its indexes stay internally consistent.
-    """
-    global _ENABLED
-    previous = _ENABLED
-    _ENABLED = bool(enabled)
-    return previous
+    """Deprecated alias for :func:`repro.config.set_interning`."""
+    warnings.warn(
+        "repro.data.interning.set_interning is deprecated; "
+        "use repro.config.set_interning",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _set_interning(enabled)
 
 
 @contextmanager
 def use_interning(enabled: bool) -> Iterator[None]:
-    """Context manager scoping :func:`set_interning` (A/B test helper)."""
-    previous = set_interning(enabled)
-    try:
+    """Deprecated alias for :func:`repro.config.use_interning`."""
+    warnings.warn(
+        "repro.data.interning.use_interning is deprecated; "
+        "use repro.config.use_interning",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    with _use_interning(enabled):
         yield
-    finally:
-        set_interning(previous)

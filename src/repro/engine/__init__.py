@@ -6,6 +6,7 @@ then answer repeated and batched queries at enumeration cost only.
 """
 
 from repro.engine.cache import LRUCache
+from repro.engine.codegen import CODEGEN_STATS, CodegenStats, PlanCodegen
 from repro.engine.engine import AnswerCursor, EngineStats, QueryEngine
 from repro.engine.fingerprint import (
     canonical_atom,
@@ -24,11 +25,14 @@ from repro.engine.plan import PreparedQuery, prepare_query
 from repro.engine.stats import EngineCounters, LatencyHistogram
 
 __all__ = [
+    "CODEGEN_STATS",
+    "CodegenStats",
     "EngineCounters",
     "LatencyHistogram",
     "AnswerCursor",
     "EngineStats",
     "LRUCache",
+    "PlanCodegen",
     "Materialization",
     "MaterializedAnswers",
     "PreparedQuery",

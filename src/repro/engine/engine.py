@@ -32,14 +32,16 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
 
+from repro.config import ExecutionOptions, resolve_option
 from repro.data.instance import Database
 from repro.data.interning import TERMS
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.core.omq import OMQ
 from repro.engine.cache import LRUCache
+from repro.engine.codegen import CODEGEN_STATS
 from repro.engine.fingerprint import ontology_fingerprint, query_fingerprint
 from repro.engine.materialization import Materialization, QueryState
 from repro.engine.plan import PreparedQuery, prepare_query
@@ -61,6 +63,10 @@ class EngineStats:
     and that forced a rebuild instead.  ``interned_terms`` is the size of
     the process-wide term dictionary backing the interned fact store (0 is
     possible only under ``REPRO_NO_INTERN`` before anything interned).
+    ``plans_compiled`` / ``codegen_cache_hits`` read the process-wide
+    :data:`~repro.engine.codegen.CODEGEN_STATS` the same way: generated
+    functions compiled, and lookups served from a codegen cache without
+    compiling.
     """
 
     plans_cached: int
@@ -76,6 +82,8 @@ class EngineStats:
     cursors_opened: int
     interned_terms: int = 0
     cursors_open: int = 0
+    plans_compiled: int = 0
+    codegen_cache_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The snapshot as a plain dict (the ``/metrics`` wire shape)."""
@@ -93,6 +101,8 @@ class EngineStats:
             "cursors_opened": self.cursors_opened,
             "interned_terms": self.interned_terms,
             "cursors_open": self.cursors_open,
+            "plans_compiled": self.plans_compiled,
+            "codegen_cache_hits": self.codegen_cache_hits,
         }
 
 
@@ -108,7 +118,15 @@ class AnswerCursor:
     closed — the engine registers one to maintain its open-cursor gauge,
     and serving layers chain their own (deregistering the cursor from a
     session table, releasing an admission slot) via :meth:`add_close_hook`.
+
+    ``page_size`` is the cursor's default batch size: :meth:`fetchmany`
+    with no argument fetches one page, so serving layers can size pages
+    once at :meth:`QueryEngine.open` time instead of threading a count
+    through every fetch call.
     """
+
+    #: The page size used when neither ``open`` nor ``fetchmany`` gave one.
+    DEFAULT_PAGE_SIZE = 100
 
     def __init__(
         self,
@@ -116,10 +134,14 @@ class AnswerCursor:
         prepared: PreparedQuery,
         database: Database,
         on_close: Callable[["AnswerCursor"], None] | None = None,
+        page_size: int | None = None,
     ):
         self._engine = engine
         self._prepared = prepared
         self._database = database
+        self.page_size = (
+            page_size if page_size and page_size > 0 else self.DEFAULT_PAGE_SIZE
+        )
         self._iterator: Iterator[tuple] | None = None
         self._closed = False
         self._close_hooks: list[Callable[["AnswerCursor"], None]] = []
@@ -162,8 +184,14 @@ class AnswerCursor:
             raise StopIteration
         return next(self._iterator)
 
-    def fetchmany(self, size: int) -> list[tuple]:
-        """Up to ``size`` further answers (constant delay per answer)."""
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        """Up to ``size`` further answers (constant delay per answer).
+
+        With no ``size`` the cursor's :attr:`page_size` applies — the hint
+        given to :meth:`QueryEngine.open`.
+        """
+        if size is None:
+            size = self.page_size
         batch: list[tuple] = []
         for answer in self:
             batch.append(answer)
@@ -193,25 +221,48 @@ class AnswerCursor:
 
 
 class QueryEngine:
-    """Prepared-query execution over one ontology and its databases."""
+    """Prepared-query execution over one ontology and its databases.
+
+    Tuning knobs are carried by one :class:`~repro.config.ExecutionOptions`
+    object; the individual keyword arguments remain as per-knob overrides
+    (the documented precedence: explicit argument > ``options`` > process
+    default) and for source compatibility with pre-``options`` callers —
+    see the migration table in ``docs/engine.md``.  ``options.interning``
+    is not consumed here: interning is fixed per :class:`Instance` at
+    construction time, so the serving layers apply it when they create
+    databases (the engine works with whatever representation its databases
+    already have).
+    """
 
     def __init__(
         self,
         ontology: Ontology,
         database: Database | None = None,
         *,
-        plan_cache_size: int = 64,
+        options: ExecutionOptions | None = None,
+        plan_cache_size: int | None = None,
         materialization_cache_size: int = 8,
-        strict: bool = True,
-        incremental: bool = True,
-        incremental_fallback_ratio: float = 0.1,
+        strict: bool | None = None,
+        incremental: bool | None = None,
+        incremental_fallback_ratio: float | None = None,
+        codegen: bool | None = None,
         plan_cache: LRUCache[PreparedQuery] | None = None,
     ) -> None:
+        resolved = options if options is not None else ExecutionOptions()
+        self.options = resolved
         self.ontology = ontology
         self.ontology_fingerprint = ontology_fingerprint(ontology)
-        self.strict = strict
-        self.incremental = incremental
-        self.incremental_fallback_ratio = incremental_fallback_ratio
+        self.strict = resolve_option(strict, resolved.strict, True)
+        self.incremental = resolve_option(incremental, resolved.incremental, True)
+        self.incremental_fallback_ratio = resolve_option(
+            incremental_fallback_ratio, resolved.incremental_fallback_ratio, 0.1
+        )
+        # May stay None: materializations then consult the process default
+        # (``REPRO_NO_CODEGEN`` / ``set_codegen``) at construction time.
+        self.codegen = resolve_option(codegen, resolved.codegen, None)
+        plan_cache_size = resolve_option(
+            plan_cache_size, resolved.plan_cache_size, 64
+        )
         self._default_database = database
         # ``plan_cache`` may be an externally owned cache shared by several
         # engines: plan keys carry the ontology fingerprint, so engines over
@@ -332,6 +383,7 @@ class QueryEngine:
                 state_cache_size=self._plans.capacity,
                 incremental=self.incremental,
                 fallback_ratio=self.incremental_fallback_ratio,
+                codegen=self.codegen,
             )
             self._materializations.put(id(database), materialization)
         return materialization
@@ -395,11 +447,16 @@ class QueryEngine:
 
     def execute_batch(
         self,
-        queries: Sequence[QueryLike],
+        queries: Iterable[QueryLike],
         database: Database | None = None,
         max_workers: int | None = None,
     ) -> list[set[tuple]]:
         """Evaluate many queries, amortizing preprocessing across the batch.
+
+        ``queries`` may be any iterable (it is consumed once); the result
+        list is aligned with the iteration order — ``results[i]`` is the
+        answer set of the ``i``-th query yielded — regardless of how the
+        worker pool interleaves the evaluations.
 
         Plans and materialized states are built sequentially under the
         engine lock (they mutate shared structures); the enumeration phase
@@ -425,18 +482,28 @@ class QueryEngine:
         query: QueryLike,
         database: Database | None = None,
         on_close: Callable[[AnswerCursor], None] | None = None,
+        *,
+        page_size: int | None = None,
     ) -> AnswerCursor:
         """A restartable constant-delay cursor over the query's answers.
 
         ``on_close`` is an optional lifecycle hook fired exactly once when
         the cursor closes; the engine always chains its own hook first to
-        keep the ``cursors_open`` gauge exact.
+        keep the ``cursors_open`` gauge exact.  ``page_size`` sets the
+        cursor's default :meth:`~AnswerCursor.fetchmany` batch, so serving
+        layers size pages here instead of at every fetch.
         """
         prepared = self.prepare(query)
         resolved = self._resolve_database(database)
         self._counters.bump("cursors_opened")
         self._counters.bump("cursors_open")
-        cursor = AnswerCursor(self, prepared, resolved, on_close=self._cursor_closed)
+        cursor = AnswerCursor(
+            self,
+            prepared,
+            resolved,
+            on_close=self._cursor_closed,
+            page_size=page_size,
+        )
         if on_close is not None:
             cursor.add_close_hook(on_close)
         return cursor
@@ -457,6 +524,7 @@ class QueryEngine:
         serving layer's ``/metrics`` endpoint publishes.
         """
         counters = self._counters.snapshot()
+        plans_compiled, codegen_cache_hits = CODEGEN_STATS.snapshot()
         with self._lock:
             materializations = list(self._materializations.values())
             return EngineStats(
@@ -475,6 +543,8 @@ class QueryEngine:
                 cursors_opened=counters.get("cursors_opened", 0),
                 interned_terms=len(TERMS),
                 cursors_open=counters.get("cursors_open", 0),
+                plans_compiled=plans_compiled,
+                codegen_cache_hits=codegen_cache_hits,
             )
 
     @property

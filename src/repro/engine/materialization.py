@@ -93,6 +93,9 @@ class Materialization:
     ``incremental`` enables in-place maintenance under database mutations;
     ``fallback_ratio`` is the delta-size threshold (as a fraction of the
     database) above which a full rebuild is cheaper than maintenance.
+    ``codegen`` selects generated inner loops for the chase and the
+    enumerators built here (``None`` defers to the process default at each
+    construction, so a scoped ``use_codegen`` still applies).
     """
 
     def __init__(
@@ -102,11 +105,13 @@ class Materialization:
         state_cache_size: int = 64,
         incremental: bool = True,
         fallback_ratio: float = 0.1,
+        codegen: bool | None = None,
     ) -> None:
         self.ontology = ontology
         self.database = database
         self.incremental = incremental
         self.fallback_ratio = fallback_ratio
+        self.codegen = codegen
         self.chase: QueryDirectedChase | None = None
         self._maintainer: ChaseMaintainer | None = None
         self._states: LRUCache[QueryState] = LRUCache(state_cache_size)
@@ -232,6 +237,7 @@ class Materialization:
                 null_depth=depth,
                 reuse=self.chase,
                 recorder=recorder,
+                codegen=self.codegen,
             )
             if recorder is not None:
                 recorder.attach(self.chase.result)
@@ -251,6 +257,10 @@ class Materialization:
                     chase.instance,
                     keep_nulls=False,
                     decomposition=prepared.decomposition,
+                    codegen=self.codegen,
+                    # The plan's own closure cache: compiled walks are shared
+                    # across databases and dropped on plan-cache eviction.
+                    codegen_cache=prepared.codegen,
                 )
             else:
                 enumerator = MaterializedAnswers(

@@ -11,13 +11,14 @@ the engine caches these plans in an LRU keyed by fingerprints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.chase.query_directed import default_null_depth
 from repro.cq.acyclicity import is_weakly_acyclic
 from repro.cq.jointree import JoinTree, build_join_tree
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.core.omq import OMQ
+from repro.engine.codegen import PlanCodegen
 from repro.engine.fingerprint import ontology_fingerprint, query_fingerprint
 from repro.tgds.ontology import Ontology
 from repro.yannakakis.decomposition import FreeConnexDecomposition, decompose_free_connex
@@ -39,6 +40,12 @@ class PreparedQuery:
     decomposition: FreeConnexDecomposition | None
     null_depth: int
     strict: bool = True
+    # The plan's compiled closures live *on the plan*, next to the
+    # decomposition: evicting the plan-cache entry drops the last strong
+    # reference and the generated code objects with it, so the codegen
+    # cache can never outlive its PreparedQuery (no growth under
+    # fingerprint churn).
+    codegen: PlanCodegen = field(default_factory=PlanCodegen, repr=False)
 
     @property
     def cache_key(self) -> tuple[str, str]:

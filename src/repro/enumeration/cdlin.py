@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.config import codegen_enabled
 from repro.data.instance import Instance
 from repro.data.interning import TERMS
 from repro.cq.atoms import Atom, Variable
@@ -62,18 +63,28 @@ class CDLinEnumerator:
         instance: Instance,
         keep_nulls: bool = False,
         decomposition: "FreeConnexDecomposition | None" = None,
+        codegen: bool | None = None,
+        codegen_cache: "object | None" = None,
     ) -> None:
         self.original_query = query
         self.deduplicated, self._head_positions = query.deduplicated_head()
         self._keep_nulls = keep_nulls
         self._decomposition = decomposition
         self._interned = instance.interned
+        # Captured at construction, like the interning flag: the enumerator
+        # must stay internally consistent even if the process default flips
+        # while it is alive.  ``codegen_cache`` is the per-plan closure cache
+        # (prepared queries pass theirs so closures die with the plan-cache
+        # entry; standalone enumerators lazily create their own).
+        self._codegen = codegen_enabled() if codegen is None else bool(codegen)
+        self._codegen_cache = codegen_cache
         self.reduced: ReducedQuery = build_reduced_query(
             self.deduplicated,
             instance,
             keep_nulls=keep_nulls,
             decomposition=decomposition,
             interned=self._interned,
+            codegen=self._codegen,
         )
         self._order: list[Atom] = []
         self._indexes: dict[Atom, dict[tuple, list[tuple]]] = {}
@@ -154,6 +165,7 @@ class CDLinEnumerator:
             keep_nulls=self._keep_nulls,
             decomposition=self._decomposition,
             interned=self._interned,
+            codegen=self._codegen,
         )
         self._order, self._indexes, self._shared = [], {}, {}
         self._plan = None
@@ -197,7 +209,11 @@ class CDLinEnumerator:
                 continue
             if (
                 component_projection(
-                    component, instance, self._keep_nulls, interned=self._interned
+                    component,
+                    instance,
+                    self._keep_nulls,
+                    interned=self._interned,
+                    codegen=self._codegen,
                 )
                 is None
             ):
@@ -207,7 +223,11 @@ class CDLinEnumerator:
             if not ({atom.relation for atom in block.component.atoms} & touched):
                 continue
             projection = component_projection(
-                block.component, instance, self._keep_nulls, interned=self._interned
+                block.component,
+                instance,
+                self._keep_nulls,
+                interned=self._interned,
+                codegen=self._codegen,
             )
             if projection is None:
                 return self._make_empty()
@@ -248,6 +268,23 @@ class CDLinEnumerator:
 
     # -- enumeration ---------------------------------------------------------
 
+    def _compiled_walk(self, plan: tuple):
+        """The generated walk for ``plan`` (``None`` → interpreted path).
+
+        The compiled function is a pure function of the (data-independent)
+        slot plan, so it is looked up in the plan-level closure cache and
+        shared across databases and maintenance epochs; per-enumeration
+        state (the index list, the decoder) stays a call argument.
+        """
+        cache = self._codegen_cache
+        if cache is None:
+            # Standalone enumerator: own one cache object (the engine path
+            # hands in the PreparedQuery's, so eviction drops the closures).
+            from repro.engine.codegen import PlanCodegen
+
+            cache = self._codegen_cache = PlanCodegen()
+        return cache.walk_for(plan, self._interned)
+
     def is_empty(self) -> bool:
         return self.reduced.is_empty
 
@@ -272,8 +309,15 @@ class CDLinEnumerator:
             return
 
         assert plan is not None
-        key_slots, stores, final_slots, slot_count = plan
         index_list = [indexes[atom] for atom in order]
+        if self._codegen:
+            compiled = self._compiled_walk(plan)
+            if compiled is not None:
+                yield from compiled(
+                    index_list, TERMS.decoder() if self._interned else None
+                )
+                return
+        key_slots, stores, final_slots, slot_count = plan
         values: list = [None] * slot_count
         depth = len(order)
         decode = TERMS.decode if self._interned else None

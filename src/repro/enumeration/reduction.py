@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import codegen_enabled
 from repro.data.instance import Instance
 from repro.data.interning import TERMS
 from repro.data.terms import is_null
@@ -85,8 +86,19 @@ class ReducedQuery:
         return sum(len(rel) for rel in self.relations.values())
 
 
+def _nullfree_kernel(arity: int):
+    """Arity-specialised null filter (lazy import, see ``data/columns.py``)."""
+    from repro.engine.codegen import nullfree_kernel
+
+    return nullfree_kernel(arity)
+
+
 def component_projection(
-    component: Component, instance: Instance, keep_nulls: bool, interned: bool = False
+    component: Component,
+    instance: Instance,
+    keep_nulls: bool,
+    interned: bool = False,
+    codegen: bool | None = None,
 ) -> set[tuple] | None:
     """Project a component's satisfying assignments onto its answer variables.
 
@@ -94,7 +106,9 @@ def component_projection(
     computed by a bottom-up semi-join pass towards the component root (all
     answer variables live in the root, so projecting the reduced root
     relation is exact).  With ``interned`` the atom relations hold dense
-    term ids and the null filter tests id flags instead of term types.
+    term ids and the null filter tests id flags instead of term types —
+    through a per-arity generated kernel when ``codegen`` resolves on
+    (``None`` means the process default).
     """
     relations = {
         atom: atom_relation(atom, instance, interned=interned)
@@ -109,10 +123,22 @@ def component_projection(
     projection = root_relation.project(component.answer_variables)
     if not keep_nulls:
         if interned:
-            null_id = TERMS.is_null_id
-            projection = {
-                row for row in projection if not any(null_id(value) for value in row)
-            }
+            if codegen is None:
+                codegen = codegen_enabled()
+            kernel = (
+                _nullfree_kernel(len(component.answer_variables))
+                if codegen
+                else None
+            )
+            if kernel is not None:
+                projection = kernel(projection, TERMS.null_flags())
+            else:
+                null_id = TERMS.is_null_id
+                projection = {
+                    row
+                    for row in projection
+                    if not any(null_id(value) for value in row)
+                }
         else:
             projection = {
                 row for row in projection if not any(is_null(value) for value in row)
@@ -129,6 +155,7 @@ def build_reduced_query(
     require_acyclic: bool = True,
     decomposition: "FreeConnexDecomposition | None" = None,
     interned: bool = False,
+    codegen: bool | None = None,
 ) -> ReducedQuery:
     """Build ``q1`` and ``D1`` from ``q0`` and ``D0``.
 
@@ -158,7 +185,7 @@ def build_reduced_query(
     is_empty = False
     for index, component in enumerate(decomposition.components):
         projection = component_projection(
-            component, instance, keep_nulls, interned=interned
+            component, instance, keep_nulls, interned=interned, codegen=codegen
         )
         if projection is None:
             is_empty = True

@@ -37,8 +37,9 @@ import asyncio
 import contextlib
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.config import ExecutionOptions
 from repro.cq.query import QueryError
 from repro.data.instance import Database
 from repro.engine import LRUCache, QueryEngine
@@ -47,10 +48,6 @@ from repro.engine.stats import EngineCounters, LatencyHistogram
 from repro.incremental.delta import Delta, apply_delta
 from repro.server.http import BadRequest, Request, Response
 from repro.workloads import get_workload
-
-#: Rows fetched per cancellation check while draining a cursor in a thread.
-_DRAIN_CHUNK = 128
-
 
 class QueryTimeout(Exception):
     """An enumeration exceeded the per-query timeout and was cancelled."""
@@ -75,6 +72,17 @@ class ServiceConfig:
     plan_cache_size: int = 256
     strict: bool = True
     incremental: bool = True
+    #: ``None`` defers to the process default (``REPRO_NO_CODEGEN``).
+    codegen: bool | None = None
+
+    def execution_options(self) -> ExecutionOptions:
+        """The engine-facing view of this config (one options object)."""
+        return ExecutionOptions(
+            codegen=self.codegen,
+            incremental=self.incremental,
+            strict=self.strict,
+            plan_cache_size=self.plan_cache_size,
+        )
 
 
 @dataclass
@@ -167,9 +175,8 @@ class QueryService:
         """The shared engine for an ontology (one per distinct fingerprint)."""
         probe = QueryEngine(
             ontology,
+            options=self.config.execution_options(),
             plan_cache=self._plan_cache,
-            strict=self.config.strict,
-            incremental=self.config.incremental,
         )
         return self._engines.setdefault(probe.ontology_fingerprint, probe)
 
@@ -323,14 +330,16 @@ class QueryService:
         """Fetch up to ``limit`` rows (all with ``None``), cancellable.
 
         Returns ``(rows, exhausted)``.  The cancellation event is checked
-        every ``_DRAIN_CHUNK`` rows; constant delay per answer bounds the
-        time between checks.
+        once per cursor page — the ``page_size`` hint the service gave
+        :meth:`QueryEngine.open`, so pagination granularity is configured in
+        one place; constant delay per answer bounds the time between checks.
         """
         rows: list[tuple] = []
+        chunk = cursor.page_size
         while True:
             if cancel.is_set():
                 raise _Cancelled()
-            want = _DRAIN_CHUNK if limit is None else min(_DRAIN_CHUNK, limit - len(rows))
+            want = chunk if limit is None else min(chunk, limit - len(rows))
             if want <= 0:
                 return rows, False
             page = cursor.fetchmany(want)
@@ -377,12 +386,13 @@ class QueryService:
             }
         )
 
-    @staticmethod
     def _execute_blocking(
-        cancel: threading.Event, tenant: Tenant, query: str
+        self, cancel: threading.Event, tenant: Tenant, query: str
     ) -> list[tuple]:
         with tenant.state_lock:
-            cursor = tenant.engine.open(query, tenant.database)
+            cursor = tenant.engine.open(
+                query, tenant.database, page_size=self.config.page_size
+            )
         try:
             rows, _ = QueryService._drain_rows(cursor, cancel)
             return rows
@@ -422,13 +432,14 @@ class QueryService:
             status=201,
         )
 
-    @staticmethod
     def _open_blocking(
-        cancel: threading.Event, tenant: Tenant, query: str
+        self, cancel: threading.Event, tenant: Tenant, query: str
     ) -> AnswerCursor:
         del cancel  # preprocessing is not paginated; the timeout still applies
         with tenant.state_lock:
-            return tenant.engine.open(query, tenant.database)
+            return tenant.engine.open(
+                query, tenant.database, page_size=self.config.page_size
+            )
 
     async def _fetch_page(
         self, tenant: Tenant, session: CursorSession, request: Request

@@ -1,0 +1,361 @@
+"""Tests for per-plan code generation (`repro.engine.codegen`).
+
+Covers the generated-source shape and caching of the enumeration walk, the
+arity-specialised columnar kernels, the single-atom chase matchers, every
+escape hatch (``REPRO_NO_CODEGEN``, :func:`repro.set_codegen`,
+``ExecutionOptions(codegen=False)``), and the eviction guarantee: compiled
+closures never outlive their :class:`PreparedQuery`.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+import weakref
+
+import pytest
+
+from repro import Database, ExecutionOptions, Fact, QueryEngine, use_codegen
+from repro.cq.atoms import Atom, Variable
+from repro.cq.homomorphism import match_atom
+from repro.data import ColumnarRelation
+from repro.engine import CODEGEN_STATS, PlanCodegen
+from repro.engine.codegen import (
+    MAX_KERNEL_ARITY,
+    MAX_WALK_DEPTH,
+    compile_walk,
+    key_kernels,
+    maybe_single_body_matcher,
+    nullfree_kernel,
+    single_body_matcher,
+    walk_source,
+)
+from repro.tgds.ontology import Ontology
+from repro.tgds.parser import parse_ontology
+
+
+def _x():
+    return Variable("x")
+
+
+#: A depth-2 slot plan shaped like ``CDLinEnumerator._build_plan`` output:
+#: level 0 reads the root rows into slots 0/1, level 1 joins on slot 1 and
+#: reads its second position into slot 2.
+PATH_PLAN = (
+    ((), (1,)),  # key_slots per level
+    (((0, 0), (1, 1)), ((1, 2),)),  # stores per level: (position, slot)
+    (0, 1, 2),  # final_slots
+    3,  # slot_count
+)
+
+#: index_list matching PATH_PLAN over R = {(a,b),(a,c)}, S = {(b,d),(c,d)}.
+PATH_INDEXES = [
+    {(): [("a", "b"), ("a", "c")]},
+    {("b",): [("b", "d")], ("c",): [("c", "d")]},
+]
+
+
+class TestWalkSource:
+    def test_source_mirrors_the_interpreter(self):
+        source = walk_source(PATH_PLAN, interned=False)
+        assert "def _walk(index_list, decode):" in source
+        assert "_get1 = index_list[1].get" in source
+        assert "for _r0 in index_list[0].get((), ()):" in source
+        assert "for _r1 in _get1((_v1,), ()):" in source
+        assert "yield (_v0, _v1, _v2)" in source
+        # Writes to key slots are elided: level 1's slot 1 is its lookup key.
+        assert "_v1 = _r1" not in source
+
+    def test_compiled_walk_enumerates_the_join(self):
+        walk = compile_walk(PATH_PLAN, interned=False)
+        assert set(walk(PATH_INDEXES, None)) == {
+            ("a", "b", "d"),
+            ("a", "c", "d"),
+        }
+
+    def test_interned_plans_decode_at_emit(self):
+        source = walk_source(PATH_PLAN, interned=True)
+        assert "yield (decode(_v0), decode(_v1), decode(_v2))" in source
+        walk = compile_walk(PATH_PLAN, interned=True)
+        table = {"a": "A", "b": "B", "c": "C", "d": "D"}
+        assert set(walk(PATH_INDEXES, table.__getitem__)) == {
+            ("A", "B", "D"),
+            ("A", "C", "D"),
+        }
+
+    def test_boolean_plan_yields_the_empty_tuple(self):
+        plan = (((),), (((0, 0),),), (), 1)
+        source = walk_source(plan, interned=False)
+        assert "yield ()" in source
+        walk = compile_walk(plan, interned=False)
+        assert list(walk([{(): [("w",)]}], None)) == [()]
+
+    def test_single_answer_variable_yields_one_tuples(self):
+        plan = (((),), (((0, 0),),), (0,), 1)
+        assert "yield (_v0,)" in walk_source(plan, interned=False)
+        walk = compile_walk(plan, interned=False)
+        assert set(walk([{(): [("a",), ("b",)]}], None)) == {("a",), ("b",)}
+
+    def test_depth_zero_and_too_deep_fall_back(self):
+        assert walk_source(((), (), (), 0), interned=False) is None
+        deep = MAX_WALK_DEPTH + 1
+        plan = (
+            tuple(() for _ in range(deep)),
+            tuple(((0, i),) for i in range(deep)),
+            (0,),
+            deep,
+        )
+        assert walk_source(plan, interned=False) is None
+        assert compile_walk(plan, interned=False) is None
+
+
+class TestPlanCodegen:
+    def test_walks_compile_once_then_hit(self):
+        cache = PlanCodegen()
+        compiled_before, hits_before = CODEGEN_STATS.snapshot()
+        first = cache.walk_for(PATH_PLAN, interned=False)
+        second = cache.walk_for(PATH_PLAN, interned=False)
+        compiled_after, hits_after = CODEGEN_STATS.snapshot()
+        assert first is second and first is not None
+        assert compiled_after == compiled_before + 1
+        assert hits_after == hits_before + 1
+        assert len(cache) == 1
+
+    def test_interned_and_plain_walks_are_distinct_entries(self):
+        cache = PlanCodegen()
+        assert cache.walk_for(PATH_PLAN, True) is not cache.walk_for(PATH_PLAN, False)
+        assert len(cache) == 2
+
+    def test_uncovered_plans_cache_the_fallback(self):
+        cache = PlanCodegen()
+        plan = ((), (), (), 0)
+        assert cache.walk_for(plan, False) is None
+        _, hits_before = CODEGEN_STATS.snapshot()
+        assert cache.walk_for(plan, False) is None  # cached None, no recompile
+        _, hits_after = CODEGEN_STATS.snapshot()
+        assert hits_after == hits_before + 1
+
+
+class TestKeyKernels:
+    def rel(self):
+        return ColumnarRelation(3, [(1, 2, 3), (1, 5, 6), (4, 2, 3), (1, 2, 9)])
+
+    @pytest.mark.parametrize("positions", [(0,), (0, 1), (2, 0, 1)])
+    def test_kernels_agree_with_the_generic_paths(self, positions):
+        relation = self.rel()
+        keys = {tuple(row[p] for p in positions) for row in list(relation)[:2]}
+        with use_codegen(True):
+            fast_filter = relation.filter_by_keys(positions, keys)
+            fast_index = relation.index_on(positions)
+        with use_codegen(False):
+            slow_filter = relation.filter_by_keys(positions, keys)
+            slow_index = relation.index_on(positions)
+        assert fast_filter == slow_filter
+        assert {k: list(v) for k, v in fast_index.items()} == {
+            k: list(v) for k, v in slow_index.items()
+        }
+
+    def test_arity_bounds(self):
+        assert key_kernels(0) is None
+        assert key_kernels(MAX_KERNEL_ARITY + 1) is None
+        assert key_kernels(1) is not None
+        assert nullfree_kernel(0) is None
+        assert nullfree_kernel(MAX_KERNEL_ARITY + 1) is None
+
+    def test_kernels_are_cached_per_arity(self):
+        first = key_kernels(2)
+        _, hits_before = CODEGEN_STATS.snapshot()
+        assert key_kernels(2) is first
+        _, hits_after = CODEGEN_STATS.snapshot()
+        assert hits_after == hits_before + 1
+
+    def test_nullfree_kernel_matches_the_generic_filter(self):
+        flags = bytearray([0, 1, 0, 0, 1])
+        rows = {(0, 2), (0, 1), (3, 4), (2, 3)}
+        kernel = nullfree_kernel(2)
+        expected = {row for row in rows if not any(flags[v] for v in row)}
+        assert kernel(rows, flags) == expected == {(0, 2), (2, 3)}
+
+
+class TestSingleBodyMatcher:
+    CASES = [
+        Atom("R", (_x(), Variable("y"))),
+        Atom("R", (_x(), _x())),  # repeated variable
+        Atom("R", (_x(), "c")),  # constant in the body
+        Atom("T", ("c", _x(), _x(), "d")),  # both, arity 4
+        Atom("P", ()),  # 0-ary body atom
+    ]
+
+    FACTS = [
+        Fact("R", ("a", "b")),
+        Fact("R", ("a", "a")),
+        Fact("R", ("a", "c")),
+        Fact("R", ("c", "c")),
+        Fact("T", ("c", "a", "a", "d")),
+        Fact("T", ("c", "a", "b", "d")),
+        Fact("T", ("x", "a", "a", "d")),
+        Fact("P", ()),
+        Fact("R", ("only", "one", "extra")),  # arity mismatch
+    ]
+
+    @pytest.mark.parametrize("atom", CASES, ids=lambda a: str(a))
+    def test_matcher_agrees_with_match_atom(self, atom):
+        matcher = single_body_matcher(atom)
+        for fact in self.FACTS:
+            assert matcher(fact) == match_atom(atom, fact, {}), fact
+
+    def test_matchers_are_shared_across_equal_atoms(self):
+        left = single_body_matcher(Atom("Q", (_x(), "k")))
+        right = single_body_matcher(Atom("Q", (_x(), "k")))
+        assert left is right
+
+    def test_maybe_matcher_respects_the_switch(self):
+        atom = Atom("R", (_x(), Variable("y")))
+        with use_codegen(False):
+            assert maybe_single_body_matcher(atom) is None
+            assert maybe_single_body_matcher(atom, enabled=True) is not None
+        with use_codegen(True):
+            assert maybe_single_body_matcher(atom) is not None
+            assert maybe_single_body_matcher(atom, enabled=False) is None
+
+
+OFFICE_RULES = """
+    Researcher(x) -> HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> InBuilding(x, y)
+"""
+
+OFFICE_FACTS = [
+    Fact("Researcher", ("mary",)),
+    Fact("HasOffice", ("mary", "room1")),
+    Fact("HasOffice", ("john", "room2")),
+    Fact("InBuilding", ("room1", "main1")),
+]
+
+OFFICE_QUERY = "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)"
+
+
+def _office_engine(**kwargs) -> QueryEngine:
+    return QueryEngine(parse_ontology(OFFICE_RULES), Database(OFFICE_FACTS), **kwargs)
+
+
+class TestEscapeHatches:
+    def test_codegen_on_and_off_agree_end_to_end(self):
+        on = _office_engine(codegen=True).execute(OFFICE_QUERY)
+        off = _office_engine(codegen=False).execute(OFFICE_QUERY)
+        assert on == off and on  # non-empty and byte-identical
+
+    def test_options_object_disables_codegen(self):
+        engine = _office_engine(options=ExecutionOptions(codegen=False))
+        answers = engine.execute(OFFICE_QUERY)
+        assert answers == _office_engine().execute(OFFICE_QUERY)
+        # The disabled engine itself must not have compiled a walk.
+        (prepared,) = engine._plans.values()
+        assert len(prepared.codegen) == 0
+
+    def test_explicit_kwarg_beats_the_options_object(self):
+        engine = _office_engine(
+            options=ExecutionOptions(codegen=False, strict=False), codegen=True
+        )
+        assert engine.codegen is True
+        assert engine.strict is False  # untouched fields still flow through
+
+    def test_use_codegen_wins_over_unset_option_fields(self):
+        with use_codegen(False):
+            engine = _office_engine()  # codegen field stays None
+            engine.execute(OFFICE_QUERY)
+            (prepared,) = engine._plans.values()
+            assert len(prepared.codegen) == 0
+
+    def test_env_variable_escape_hatch(self):
+        env = dict(os.environ, REPRO_NO_CODEGEN="1")
+        env["PYTHONPATH"] = "src"
+        probe = (
+            "from repro.config import codegen_enabled; "
+            "print(codegen_enabled())"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", probe],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == "False"
+
+
+class TestStatsAndEviction:
+    def test_engine_stats_expose_codegen_counters(self):
+        engine = _office_engine(codegen=True)
+        engine.execute(OFFICE_QUERY)
+        engine.execute(OFFICE_QUERY)
+        stats = engine.stats
+        assert stats.plans_compiled >= 1
+        report = stats.as_dict()
+        assert "plans_compiled" in report and "codegen_cache_hits" in report
+
+    def test_compiled_walks_die_with_the_evicted_plan(self):
+        """The eviction regression: no global cache outlives PreparedQuery."""
+        engine = _office_engine(codegen=True, plan_cache_size=1)
+        engine.execute(OFFICE_QUERY)
+        (prepared,) = engine._plans.values()
+        assert len(prepared.codegen) >= 1
+        grave = weakref.ref(prepared.codegen)
+        del prepared
+        # A second distinct query evicts the first plan (capacity 1)...
+        engine.execute("q(x, y) :- HasOffice(x, y)")
+        gc.collect()
+        # ...and the compiled closures go with it.
+        assert grave() is None
+
+    def test_cached_plan_reuses_its_compiled_walk(self):
+        engine = _office_engine(codegen=True)
+        engine.execute(OFFICE_QUERY)
+        _, hits_before = CODEGEN_STATS.snapshot()
+        engine.execute(OFFICE_QUERY)
+        _, hits_after = CODEGEN_STATS.snapshot()
+        assert hits_after > hits_before
+
+
+class TestUnifiedSignatures:
+    def test_execute_batch_accepts_any_iterable(self):
+        engine = _office_engine()
+        queries = (text for text in [OFFICE_QUERY, "q(x, y) :- HasOffice(x, y)"])
+        results = engine.execute_batch(queries)
+        assert len(results) == 2
+        assert results[0] == engine.execute(OFFICE_QUERY)
+        assert results[1] == engine.execute("q(x, y) :- HasOffice(x, y)")
+
+    def test_open_page_size_hint_drives_fetchmany(self):
+        engine = _office_engine()
+        with engine.open("q(x, y) :- HasOffice(x, y)", page_size=1) as cursor:
+            assert cursor.page_size == 1
+            assert len(cursor.fetchmany()) == 1  # page size, not DEFAULT_PAGE_SIZE
+            assert len(cursor.fetchmany(10)) <= 10  # explicit size still wins
+        with engine.open(OFFICE_QUERY) as cursor:
+            assert cursor.page_size == cursor.DEFAULT_PAGE_SIZE
+
+    def test_incremental_maintenance_keeps_codegen_answers_correct(self):
+        ontology = parse_ontology(OFFICE_RULES)
+        database = Database(OFFICE_FACTS)
+        engine = QueryEngine(ontology, database, codegen=True)
+        before = engine.execute(OFFICE_QUERY)
+        database.add(Fact("InBuilding", ("room2", "annex")))
+        after = engine.execute(OFFICE_QUERY)
+        reference = QueryEngine(ontology, database, codegen=False).execute(
+            OFFICE_QUERY
+        )
+        assert after == reference
+        assert before < after
+
+    def test_empty_ontology_engine_still_honours_options(self):
+        engine = QueryEngine(
+            Ontology([], name="empty"),
+            Database([Fact("R", ("a", "b"))]),
+            options=ExecutionOptions(codegen=True, plan_cache_size=2),
+        )
+        assert engine._plans.capacity == 2
+        assert engine.execute("q(x, y) :- R(x, y)") == {("a", "b")}

@@ -10,7 +10,9 @@ reference implementation:
 * the prepared-query engine, cold, cached, and incremental after database
   mutations,
 * the interned (dictionary-encoded, columnar) store and the
-  ``REPRO_NO_INTERN`` term-object store.
+  ``REPRO_NO_INTERN`` term-object store,
+* per-plan code generation (compiled walks/kernels/matchers) and the
+  ``REPRO_NO_CODEGEN`` interpreted paths.
 
 The tier-1 ``fast`` profile runs 60 examples per property (≥200 cases per
 run across the four properties); the ``slow``-marked sweep runs a larger
@@ -27,6 +29,7 @@ from repro.baselines.naive import naive_certain_answers
 from repro.core import OMQ
 from repro.core.enumeration import CompleteAnswerEnumerator
 from repro.cq.parser import parse_query
+from repro.config import use_codegen
 from repro.data import Database, Fact, use_interning
 from repro.engine import QueryEngine
 from repro.tgds.eli import is_eli_tgd
@@ -195,6 +198,22 @@ def test_interned_and_term_stores_agree(templates, query_text, facts):
     assert interned_engine == expected
 
 
+@given(templates=ontology_strategy, query_text=query_strategy, facts=facts_strategy)
+def test_codegen_on_and_off_agree(templates, query_text, facts):
+    """Compiled walks/kernels/matchers == the interpreted paths == naive."""
+    omq = _build_omq(templates, query_text)
+    with use_codegen(True):
+        database = Database(facts)
+        compiled_answers = set(CompleteAnswerEnumerator(omq, database))
+        compiled_engine = QueryEngine(omq.ontology, database).execute(omq.query)
+    with use_codegen(False):
+        database = Database(facts)
+        interpreted_answers = set(CompleteAnswerEnumerator(omq, database))
+        expected = naive_certain_answers(omq, database)
+    assert compiled_answers == interpreted_answers == expected
+    assert compiled_engine == expected
+
+
 @pytest.mark.slow
 @settings(
     max_examples=400,
@@ -208,15 +227,17 @@ def test_interned_and_term_stores_agree(templates, query_text, facts):
     extra=st.lists(fact_strategy, min_size=1, max_size=3),
 )
 def test_differential_sweep_slow(templates, query_text, facts, extra):
-    """Nightly sweep: all paths, both stores, across a mutation."""
+    """Nightly sweep: all paths, both stores, both codegen modes, across a
+    mutation."""
     omq = _build_omq(templates, query_text)
     for interned in (True, False):
-        with use_interning(interned):
-            database = Database(facts)
-            expected = naive_certain_answers(omq, database)
-            assert set(CompleteAnswerEnumerator(omq, database)) == expected
-            engine = QueryEngine(omq.ontology, database)
-            assert engine.execute(omq.query) == expected
-            database.add_facts(extra)
-            mutated_expected = naive_certain_answers(omq, database)
-            assert engine.execute(omq.query) == mutated_expected
+        for codegen in (True, False):
+            with use_interning(interned), use_codegen(codegen):
+                database = Database(facts)
+                expected = naive_certain_answers(omq, database)
+                assert set(CompleteAnswerEnumerator(omq, database)) == expected
+                engine = QueryEngine(omq.ontology, database)
+                assert engine.execute(omq.query) == expected
+                database.add_facts(extra)
+                mutated_expected = naive_certain_answers(omq, database)
+                assert engine.execute(omq.query) == mutated_expected

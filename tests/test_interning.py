@@ -17,7 +17,7 @@ from repro.data import (
     use_interning,
 )
 from repro.data.columns import merge_intersect
-from repro.data.interning import _env_enabled
+from repro.config import _env_disabled
 
 
 class TestTermDictionary:
@@ -70,11 +70,27 @@ class TestTermDictionary:
 
     def test_env_parsing(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_INTERN", "1")
-        assert not _env_enabled()
+        assert _env_disabled("REPRO_NO_INTERN")
         monkeypatch.setenv("REPRO_NO_INTERN", "0")
-        assert _env_enabled()
+        assert not _env_disabled("REPRO_NO_INTERN")
         monkeypatch.delenv("REPRO_NO_INTERN")
-        assert _env_enabled()
+        assert not _env_disabled("REPRO_NO_INTERN")
+
+    def test_deprecated_module_aliases_still_work(self):
+        import warnings
+
+        from repro.data import interning as legacy
+
+        before = interning_enabled()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with legacy.use_interning(not before):
+                assert interning_enabled() is (not before)
+            previous = legacy.set_interning(before)
+            legacy.set_interning(previous)
+        assert interning_enabled() is before
+        assert all(w.category is DeprecationWarning for w in caught)
+        assert len(caught) >= 2
 
 
 class TestColumnarRelation:
