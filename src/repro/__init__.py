@@ -11,8 +11,10 @@ from repro.config import (
     ExecutionOptions,
     set_codegen,
     set_interning,
+    set_tracing,
     use_codegen,
     use_interning,
+    use_tracing,
 )
 from repro.data import Database, Fact, Instance, Schema
 from repro.cq import Atom, ConjunctiveQuery, Variable, parse_query
@@ -61,8 +63,10 @@ __all__ = [
     "query_directed_chase",
     "set_codegen",
     "set_interning",
+    "set_tracing",
     "use_codegen",
     "use_interning",
+    "use_tracing",
 ]
 
 __version__ = "0.1.0"

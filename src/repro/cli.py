@@ -58,10 +58,13 @@ from typing import Sequence
 from repro.config import ExecutionOptions, use_codegen, use_interning
 from repro.data.facts import Fact
 from repro.data.instance import Database
+from repro.cq.atoms import Variable
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryError
 from repro.engine import QueryEngine
+from repro.engine.fingerprint import query_fingerprint
 from repro.io import Scenario, dump_scenario, load_queries, load_scenario
+from repro.obs import TRACES, SlowQueryLog, explain_report, format_span_tree, start_trace
 from repro.workloads import get_workload, list_workloads
 
 
@@ -210,8 +213,10 @@ def _run_command(args: argparse.Namespace) -> int:
             codegen=False if args.no_codegen else None,
             incremental=not args.no_incremental,
             strict=not args.no_strict,
+            tracing=True if args.trace else None,
         ),
     )
+    slow_log = SlowQueryLog(args.slow_query_ms)
     prep_started = time.perf_counter()
     try:
         engine.warm([query for _, query in queries])
@@ -228,10 +233,19 @@ def _run_command(args: argparse.Namespace) -> int:
         per_query = answer_sets[: len(queries)]
     else:
         per_query = []
-        for _, query in queries:
+        for label, query in queries:
             answers: set[tuple] = set()
             for _ in range(args.repeat):
+                query_started = time.perf_counter()
                 answers = engine.execute(query)
+                if slow_log.threshold_ms is not None:
+                    recent = TRACES.recent(1) if args.trace else []
+                    slow_log.record(
+                        query=label,
+                        elapsed_ms=1000 * (time.perf_counter() - query_started),
+                        answers=len(answers),
+                        trace_id=recent[0].trace_id if recent else None,
+                    )
             per_query.append(answers)
     exec_seconds = time.perf_counter() - exec_started
 
@@ -285,6 +299,16 @@ def _run_command(args: argparse.Namespace) -> int:
     }
     if updates_report is not None:
         report["updates"] = updates_report
+    if args.trace:
+        report["traces"] = [
+            {
+                "trace_id": trace.trace_id,
+                "name": trace.name,
+                "duration_ms": round(trace.duration_ms, 3),
+                "spans": len(trace.spans),
+            }
+            for trace in TRACES.recent(len(queries))
+        ]
     if args.json:
         json.dump(report, sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -319,6 +343,95 @@ def _run_command(args: argparse.Namespace) -> int:
         f"{stats.chase_increments} incremental updates, "
         f"{stats.state_builds} state builds"
     )
+    if args.trace:
+        for entry in report["traces"]:
+            print(
+                f"trace {entry['trace_id']}  {entry['name']}  "
+                f"{entry['duration_ms']} ms ({entry['spans']} spans); "
+                "inspect with `repro explain` or the /traces endpoint"
+            )
+    return 0
+
+
+def _format_term(term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, int):
+        return str(term)
+    return f'"{term}"'
+
+
+def _format_query(query: ConjunctiveQuery) -> str:
+    """Render a query back to the Datalog-style surface syntax.
+
+    Used by ``repro explain`` so the traced execution starts from text and
+    the report shows a genuine ``parse`` phase; atoms are emitted in sorted
+    order for determinism (conjunction is commutative).
+    """
+    head = ", ".join(v.name for v in query.answer_variables)
+    atoms = sorted(query.atoms, key=repr)
+    body = ", ".join(
+        f"{atom.relation}({', '.join(_format_term(term) for term in atom.args)})"
+        for atom in atoms
+    )
+    return f"{query.name}({head}) :- {body}"
+
+
+def _explain_target(query: ConjunctiveQuery) -> "str | ConjunctiveQuery":
+    """The query as text when the round-trip is faithful, else the object.
+
+    Queries from DLGP files can use variable names the Datalog-style parser
+    would read as constants (uppercase); those are executed as objects — the
+    report then simply has no parse phase.
+    """
+    text = _format_query(query)
+    try:
+        reparsed = parse_query(text)
+    except QueryError:
+        return query
+    if query_fingerprint(reparsed) != query_fingerprint(query):
+        return query
+    return text
+
+
+def _explain(args: argparse.Namespace) -> int:
+    """Trace one cold execution per query and print the phase report."""
+    try:
+        scenario = _resolve_scenario(args)
+        queries = _resolve_queries(args.queries, args.inline, scenario)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reports = []
+    for label, query in queries:
+        # A fresh engine per query, so EXPLAIN shows every phase paying its
+        # real cost (plan compile, chase, reduction) instead of cache hits.
+        engine = QueryEngine(
+            scenario.ontology,
+            scenario.database,
+            options=ExecutionOptions(strict=not args.no_strict),
+        )
+        target = _explain_target(query)
+        try:
+            with start_trace(f"explain:{label}") as trace:
+                answers = engine.execute(target)
+        except QueryError as exc:
+            print(f"error: {label}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(
+            explain_report(
+                trace, prepared=engine.prepare(target), answers=len(answers)
+            )
+        )
+    if args.json:
+        json.dump(
+            {"scenario": scenario.name, "explains": reports}, sys.stdout, indent=2
+        )
+        sys.stdout.write("\n")
+        return 0
+    for report in reports:
+        print(format_span_tree(report))
+        print()
     return 0
 
 
@@ -338,6 +451,8 @@ def _serve(args: argparse.Namespace) -> int:
         strict=not args.no_strict,
         incremental=not args.no_incremental,
         codegen=False if args.no_codegen else None,
+        tracing=True if args.trace else None,
+        slow_query_ms=args.slow_query_ms,
     )
     tenants: list[tuple[str, str, int, int]] = []
     for spec in args.tenant:
@@ -502,7 +617,45 @@ def build_parser() -> argparse.ArgumentParser:
             "(A/B escape hatch)"
         ),
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a span trace for every execution (as with REPRO_TRACE=1) "
+            "and list the recorded trace ids in the report"
+        ),
+    )
+    run.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "log sequential-mode executions slower than MS milliseconds as "
+            "JSON lines on stderr (the slow-query log)"
+        ),
+    )
     run.set_defaults(func=_run)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="trace one cold execution per query and print the phase report",
+    )
+    _add_scenario_arguments(explain)
+    explain.add_argument(
+        "--no-strict",
+        action="store_true",
+        help=(
+            "allow queries outside the acyclic/free-connex class "
+            "(served via materialized certain answers, not constant delay)"
+        ),
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the EXPLAIN reports as one JSON document",
+    )
+    explain.set_defaults(func=_explain)
 
     convert = subparsers.add_parser(
         "convert",
@@ -616,6 +769,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-codegen",
         action="store_true",
         help="serve over the interpreted slot-plan/kernel paths (no codegen)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace every request (otherwise only requests carrying an "
+            "X-Repro-Trace header or ?explain=1 are traced)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log queries/pages slower than MS milliseconds as JSON lines on stderr",
     )
     serve.set_defaults(func=_serve)
     return parser

@@ -45,8 +45,11 @@ __all__ = [
     "resolve_option",
     "set_codegen",
     "set_interning",
+    "set_tracing",
+    "tracing_enabled",
     "use_codegen",
     "use_interning",
+    "use_tracing",
 ]
 
 
@@ -56,12 +59,16 @@ def _env_disabled(variable: str) -> bool:
 
 
 # Process-wide defaults, captured from the environment once at import time.
-# ``set_interning`` / ``set_codegen`` adjust them afterwards; a lock keeps
-# the read-modify-write of the toggles well-defined under threads (reads are
-# single dict-free attribute loads and stay lock-free).
+# ``set_interning`` / ``set_codegen`` / ``set_tracing`` adjust them
+# afterwards; a lock keeps the read-modify-write of the toggles well-defined
+# under threads (reads are single dict-free attribute loads and stay
+# lock-free).
 _STATE_LOCK = threading.Lock()
 _INTERNING = not _env_disabled("REPRO_NO_INTERN")
 _CODEGEN = not _env_disabled("REPRO_NO_CODEGEN")
+# Tracing has the opposite polarity: it is *off* unless asked for, because
+# it is diagnostic machinery, not an execution strategy.
+_TRACING = _env_disabled("REPRO_TRACE")
 
 
 def interning_enabled() -> bool:
@@ -127,6 +134,39 @@ def use_codegen(enabled: bool) -> Iterator[None]:
         set_codegen(previous)
 
 
+def tracing_enabled() -> bool:
+    """Whether components *initiate* query traces by default (default off).
+
+    This is the process default behind ``ExecutionOptions.tracing = None``:
+    set ``REPRO_TRACE=1`` (captured at import) or call :func:`set_tracing`
+    and every engine execution records a trace into the ring buffer of
+    :mod:`repro.obs.trace`.  Independently of this switch, components always
+    *join* a trace that an outer layer (the HTTP service, ``repro
+    explain``) already started — unless hard-disabled with
+    ``tracing=False``.
+    """
+    return _TRACING
+
+
+def set_tracing(enabled: bool) -> bool:
+    """Flip the process-wide tracing default; returns the previous setting."""
+    global _TRACING
+    with _STATE_LOCK:
+        previous = _TRACING
+        _TRACING = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_tracing(enabled: bool) -> Iterator[None]:
+    """Context manager scoping :func:`set_tracing` (diagnostic helper)."""
+    previous = set_tracing(enabled)
+    try:
+        yield
+    finally:
+        set_tracing(previous)
+
+
 def resolve_option(explicit, options_value, default):
     """Apply the documented precedence: explicit arg > options > default.
 
@@ -159,6 +199,10 @@ class ExecutionOptions:
       above which a full rebuild beats in-place maintenance.
     * ``plan_cache_size`` — capacity of the prepared-plan LRU.
     * ``strict`` — reject queries outside the acyclic ∧ free-connex class.
+    * ``tracing`` — the span-tracing tri-state: ``True`` records a trace for
+      every execution, ``False`` hard-disables all instrumentation (spans
+      are never even looked for), ``None`` joins ambient traces and
+      otherwise follows the ``REPRO_TRACE`` process default.
     """
 
     interning: bool | None = None
@@ -167,6 +211,7 @@ class ExecutionOptions:
     incremental_fallback_ratio: float = 0.1
     plan_cache_size: int = 64
     strict: bool = True
+    tracing: bool | None = None
 
     def resolved_interning(self) -> bool:
         """The interning flag with the process default filled in."""
@@ -175,6 +220,10 @@ class ExecutionOptions:
     def resolved_codegen(self) -> bool:
         """The codegen flag with the process default filled in."""
         return codegen_enabled() if self.codegen is None else self.codegen
+
+    def resolved_tracing(self) -> bool:
+        """The tracing flag with the process default filled in."""
+        return tracing_enabled() if self.tracing is None else self.tracing
 
     def replace(self, **changes) -> "ExecutionOptions":
         """A copy with ``changes`` applied (dataclass ``replace`` sugar)."""

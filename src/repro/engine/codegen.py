@@ -36,8 +36,10 @@ locks codegen-on against codegen-off byte-identical, and the
 ``REPRO_NO_CODEGEN`` / :func:`repro.config.set_codegen` / ``repro run
 --no-codegen`` escape hatch restores the interpreted path at runtime.
 
-This module deliberately imports only :mod:`repro.config`, so the data,
-chase and enumeration layers can all call into it without import cycles.
+This module deliberately imports only :mod:`repro.config` and
+:mod:`repro.obs.trace` (which itself stops at :mod:`repro.config`), so the
+data, chase and enumeration layers can all call into it without import
+cycles.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ import threading
 from typing import Callable, NamedTuple
 
 from repro.config import codegen_enabled
+from repro.obs.trace import add_event
 
 __all__ = [
     "CODEGEN_STATS",
@@ -110,6 +113,10 @@ def _compile(source: str, name: str, namespace: dict | None = None) -> Callable:
     scope: dict = dict(namespace or {})
     exec(compile(source, f"<repro-codegen:{name}>", "exec"), scope)
     CODEGEN_STATS.compiled()
+    # Instantaneous marker on the ambient trace (no-op outside one): a
+    # compile inside a request is exactly the kind of one-off cost EXPLAIN
+    # should surface.
+    add_event("codegen.compile", function=name, source_lines=source.count("\n") + 1)
     return scope[name]
 
 

@@ -28,13 +28,15 @@ thread pool safe.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Iterable, Iterator
 
-from repro.config import ExecutionOptions, resolve_option
+from repro.config import ExecutionOptions, resolve_option, tracing_enabled
+from repro.obs.trace import NULL_SPAN, current_trace, span, start_trace
 from repro.data.instance import Database
 from repro.data.interning import TERMS
 from repro.cq.parser import parse_query
@@ -86,24 +88,20 @@ class EngineStats:
     codegen_cache_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        """The snapshot as a plain dict (the ``/metrics`` wire shape)."""
-        return {
-            "plans_cached": self.plans_cached,
-            "plan_hits": self.plan_hits,
-            "plan_misses": self.plan_misses,
-            "plan_evictions": self.plan_evictions,
-            "chase_builds": self.chase_builds,
-            "chase_increments": self.chase_increments,
-            "incremental_fallbacks": self.incremental_fallbacks,
-            "state_builds": self.state_builds,
-            "invalidations": self.invalidations,
-            "executions": self.executions,
-            "cursors_opened": self.cursors_opened,
-            "interned_terms": self.interned_terms,
-            "cursors_open": self.cursors_open,
-            "plans_compiled": self.plans_compiled,
-            "codegen_cache_hits": self.codegen_cache_hits,
-        }
+        """The snapshot as a plain dict (the ``/metrics`` wire shape).
+
+        Derived from the dataclass fields so the wire schema can never
+        drift from the snapshot definition: every field is always present
+        (``plans_compiled`` / ``codegen_cache_hits`` read 0 when codegen is
+        disabled rather than disappearing), which is what keeps scraper
+        configurations stable.
+        """
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def zero(cls) -> "EngineStats":
+        """An all-zero snapshot (the schema seed for metric aggregation)."""
+        return cls(**{field.name: 0 for field in fields(cls)})
 
 
 class AnswerCursor:
@@ -247,6 +245,7 @@ class QueryEngine:
         incremental_fallback_ratio: float | None = None,
         codegen: bool | None = None,
         plan_cache: LRUCache[PreparedQuery] | None = None,
+        tracing: bool | None = None,
     ) -> None:
         resolved = options if options is not None else ExecutionOptions()
         self.options = resolved
@@ -260,6 +259,11 @@ class QueryEngine:
         # May stay None: materializations then consult the process default
         # (``REPRO_NO_CODEGEN`` / ``set_codegen``) at construction time.
         self.codegen = resolve_option(codegen, resolved.codegen, None)
+        # Tri-state kept as-is: ``None`` means "join ambient traces, and
+        # initiate one only if the REPRO_TRACE process default says so" —
+        # resolved per execution, not frozen here, so a scoped
+        # ``use_tracing`` applies to an already-built engine.
+        self.tracing = resolve_option(tracing, resolved.tracing, None)
         plan_cache_size = resolve_option(
             plan_cache_size, resolved.plan_cache_size, 64
         )
@@ -340,7 +344,8 @@ class QueryEngine:
                 )
             return query.query
         if isinstance(query, str):
-            return parse_query(query)
+            with self._span("parse", query=query):
+                return parse_query(query)
         if isinstance(query, ConjunctiveQuery):
             return query
         raise TypeError(f"cannot interpret {type(query).__name__} as a query")
@@ -349,16 +354,21 @@ class QueryEngine:
         """Compile (or fetch from the plan cache) the plan for ``query``."""
         cq = self._coerce_query(query)
         key = (self.ontology_fingerprint, query_fingerprint(cq))
-        with self._lock:
-            plan = self._plans.get(key)
-            if plan is None:
-                plan = prepare_query(
-                    self.ontology,
-                    cq,
-                    strict=self.strict,
-                    name=name or cq.name,
-                )
-                self._plans.put(key, plan)
+        with self._span("plan", query=name or cq.name) as sp:
+            with self._lock:
+                plan = self._plans.get(key)
+                cached = plan is not None
+                if plan is None:
+                    plan = prepare_query(
+                        self.ontology,
+                        cq,
+                        strict=self.strict,
+                        name=name or cq.name,
+                    )
+                    self._plans.put(key, plan)
+            if sp is not None:
+                sp.set("cached", cached)
+                sp.set("free_connex", plan.is_free_connex_acyclic)
             return plan
 
     # -- materialization ---------------------------------------------------
@@ -384,6 +394,7 @@ class QueryEngine:
                 incremental=self.incremental,
                 fallback_ratio=self.incremental_fallback_ratio,
                 codegen=self.codegen,
+                tracing=self.tracing,
             )
             self._materializations.put(id(database), materialization)
         return materialization
@@ -424,6 +435,31 @@ class QueryEngine:
                 if materialization is not None and materialization.database is database:
                     materialization.invalidate()
 
+    # -- tracing -----------------------------------------------------------
+
+    def _span(self, name: str, **attributes):
+        """A span on the ambient trace; the no-op singleton when hard-off."""
+        if self.tracing is False:
+            return NULL_SPAN
+        return span(name, **attributes)
+
+    def _trace_scope(self, name: str):
+        """The tracing context wrapped around one execution entry point.
+
+        ``tracing=False`` → the shared no-op (nothing is ever recorded);
+        an ambient trace (the HTTP service or ``repro explain`` already
+        started one) → a child span joining it; ``tracing=True`` or the
+        ``REPRO_TRACE`` process default → a fresh root trace, recorded
+        into the process ring buffer on exit.
+        """
+        if self.tracing is False:
+            return NULL_SPAN
+        if current_trace() is not None:
+            return span(name)
+        if self.tracing or tracing_enabled():
+            return start_trace(name)
+        return NULL_SPAN
+
     # -- execution ---------------------------------------------------------
 
     def _evaluate_state(self, state: QueryState) -> set[tuple]:
@@ -440,10 +476,11 @@ class QueryEngine:
 
     def execute(self, query: QueryLike, database: Database | None = None) -> set[tuple]:
         """All complete answers of ``query`` on the database, as a set."""
-        prepared = self.prepare(query)
-        resolved = self._resolve_database(database)
-        state = self._materialized_state(prepared, resolved)
-        return self._evaluate_state(state)
+        with self._trace_scope("execute"):
+            prepared = self.prepare(query)
+            resolved = self._resolve_database(database)
+            state = self._materialized_state(prepared, resolved)
+            return self._evaluate_state(state)
 
     def execute_batch(
         self,
@@ -463,19 +500,35 @@ class QueryEngine:
         — read-only by construction — then fans out over a thread pool.
         ``max_workers=0`` or ``1`` forces the sequential worker loop.
         """
-        resolved = self._resolve_database(database)
-        states = [
-            self._materialized_state(self.prepare(query), resolved)
-            for query in queries
-        ]
-        if not states:
-            return []
-        if max_workers is None:
-            max_workers = min(len(states), os.cpu_count() or 1, 8)
-        if max_workers <= 1:
-            return [self._evaluate_state(state) for state in states]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self._evaluate_state, states))
+        with self._trace_scope("execute_batch"):
+            resolved = self._resolve_database(database)
+            states = [
+                self._materialized_state(self.prepare(query), resolved)
+                for query in queries
+            ]
+            if not states:
+                return []
+            if max_workers is None:
+                max_workers = min(len(states), os.cpu_count() or 1, 8)
+            if max_workers <= 1:
+                return [self._evaluate_state(state) for state in states]
+            # ThreadPoolExecutor does not propagate contextvars, so inside a
+            # trace each worker task gets its own copy of the calling context
+            # (one Context object cannot be entered concurrently) — the
+            # per-query enumerate spans then attach to this batch's trace.
+            if self.tracing is not False and current_trace() is not None:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [
+                        pool.submit(
+                            contextvars.copy_context().run,
+                            self._evaluate_state,
+                            state,
+                        )
+                        for state in states
+                    ]
+                    return [future.result() for future in futures]
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(self._evaluate_state, states))
 
     def open(
         self,
@@ -493,17 +546,18 @@ class QueryEngine:
         cursor's default :meth:`~AnswerCursor.fetchmany` batch, so serving
         layers size pages here instead of at every fetch.
         """
-        prepared = self.prepare(query)
-        resolved = self._resolve_database(database)
-        self._counters.bump("cursors_opened")
-        self._counters.bump("cursors_open")
-        cursor = AnswerCursor(
-            self,
-            prepared,
-            resolved,
-            on_close=self._cursor_closed,
-            page_size=page_size,
-        )
+        with self._trace_scope("open"):
+            prepared = self.prepare(query)
+            resolved = self._resolve_database(database)
+            self._counters.bump("cursors_opened")
+            self._counters.bump("cursors_open")
+            cursor = AnswerCursor(
+                self,
+                prepared,
+                resolved,
+                on_close=self._cursor_closed,
+                page_size=page_size,
+            )
         if on_close is not None:
             cursor.add_close_hook(on_close)
         return cursor

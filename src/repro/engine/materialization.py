@@ -45,6 +45,7 @@ from repro.enumeration.cdlin import CDLinEnumerator
 from repro.engine.cache import LRUCache
 from repro.engine.plan import PreparedQuery
 from repro.incremental.provenance import ChaseMaintainer
+from repro.obs.trace import NULL_SPAN, current_trace, span, traced_answers
 from repro.tgds.ontology import Ontology
 
 
@@ -58,15 +59,18 @@ class MaterializedAnswers:
     which varies under ``PYTHONHASHSEED``).
     """
 
-    __slots__ = ("_answers",)
+    __slots__ = ("_answers", "_tracing")
 
-    def __init__(self, answers: set[tuple]) -> None:
+    def __init__(self, answers: set[tuple], tracing: bool | None = None) -> None:
         self._answers = tuple(sorted(set(answers), key=repr))
+        self._tracing = tracing
 
     def is_empty(self) -> bool:
         return not self._answers
 
     def enumerate(self) -> Iterator[tuple]:
+        if self._tracing is not False and current_trace() is not None:
+            return traced_answers(iter(self._answers), materialized=True)
         return iter(self._answers)
 
 
@@ -95,7 +99,9 @@ class Materialization:
     database) above which a full rebuild is cheaper than maintenance.
     ``codegen`` selects generated inner loops for the chase and the
     enumerators built here (``None`` defers to the process default at each
-    construction, so a scoped ``use_codegen`` still applies).
+    construction, so a scoped ``use_codegen`` still applies).  ``tracing``
+    is the span tri-state forwarded to the enumerators; ``False``
+    additionally skips the chase/revalidate spans recorded here.
     """
 
     def __init__(
@@ -106,12 +112,14 @@ class Materialization:
         incremental: bool = True,
         fallback_ratio: float = 0.1,
         codegen: bool | None = None,
+        tracing: bool | None = None,
     ) -> None:
         self.ontology = ontology
         self.database = database
         self.incremental = incremental
         self.fallback_ratio = fallback_ratio
         self.codegen = codegen
+        self.tracing = tracing
         self.chase: QueryDirectedChase | None = None
         self._maintainer: ChaseMaintainer | None = None
         self._states: LRUCache[QueryState] = LRUCache(state_cache_size)
@@ -154,12 +162,22 @@ class Materialization:
         """
         if self.chase is None or self.chase.is_current():
             return
-        if self._apply_incremental():
-            return
-        self.chase = None
-        self._maintainer = None
-        self._states.clear()
-        self.invalidations += 1
+        with self._span("revalidate") as sp:
+            incremental = self._apply_incremental()
+            if sp is not None:
+                sp.set("incremental", incremental)
+            if incremental:
+                return
+            self.chase = None
+            self._maintainer = None
+            self._states.clear()
+            self.invalidations += 1
+
+    def _span(self, name: str, **attributes):
+        """A span on the ambient trace — skipped entirely when hard-off."""
+        if self.tracing is False:
+            return NULL_SPAN
+        return span(name, **attributes)
 
     def _apply_incremental(self) -> bool:
         """Apply the pending database delta in place; False means rebuild.
@@ -206,7 +224,8 @@ class Materialization:
             if query_relations & touched:
                 assert self.chase is not None
                 state.enumerator = MaterializedAnswers(
-                    self._fallback_answers(state.prepared, self.chase)
+                    self._fallback_answers(state.prepared, self.chase),
+                    tracing=self.tracing,
                 )
 
     def invalidate(self) -> None:
@@ -225,24 +244,28 @@ class Materialization:
             depth = prepared.null_depth
             if self.chase is not None:
                 depth = max(depth, self.chase.null_depth_bound)
-            recorder = (
-                ChaseMaintainer(self.database, self.ontology, max_null_depth=depth)
-                if self.incremental
-                else None
-            )
-            self.chase = query_directed_chase(
-                self.database,
-                self.ontology,
-                prepared.omq.query,
-                null_depth=depth,
-                reuse=self.chase,
-                recorder=recorder,
-                codegen=self.codegen,
-            )
-            if recorder is not None:
-                recorder.attach(self.chase.result)
-            self._maintainer = recorder
-            self.chase_builds += 1
+            with self._span("chase", null_depth=depth) as sp:
+                recorder = (
+                    ChaseMaintainer(self.database, self.ontology, max_null_depth=depth)
+                    if self.incremental
+                    else None
+                )
+                self.chase = query_directed_chase(
+                    self.database,
+                    self.ontology,
+                    prepared.omq.query,
+                    null_depth=depth,
+                    reuse=self.chase,
+                    recorder=recorder,
+                    codegen=self.codegen,
+                )
+                if recorder is not None:
+                    recorder.attach(self.chase.result)
+                self._maintainer = recorder
+                self.chase_builds += 1
+                if sp is not None:
+                    sp.set("db_facts", len(self.database))
+                    sp.set("chase_facts", len(self.chase.instance))
         return self.chase
 
     def state_for(self, prepared: PreparedQuery) -> QueryState:
@@ -261,11 +284,14 @@ class Materialization:
                     # The plan's own closure cache: compiled walks are shared
                     # across databases and dropped on plan-cache eviction.
                     codegen_cache=prepared.codegen,
+                    tracing=self.tracing,
                 )
             else:
-                enumerator = MaterializedAnswers(
-                    self._fallback_answers(prepared, chase)
-                )
+                with self._span("reduce", materialized=True):
+                    enumerator = MaterializedAnswers(
+                        self._fallback_answers(prepared, chase),
+                        tracing=self.tracing,
+                    )
             state = QueryState(prepared=prepared, chase=chase, enumerator=enumerator)
             self._states.put(prepared.query_fingerprint, state)
             self.state_builds += 1

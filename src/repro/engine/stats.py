@@ -123,16 +123,33 @@ class LatencyHistogram:
                 return self._max
         return self._max  # pragma: no cover - rank <= count always hits
 
-    def snapshot(self) -> dict[str, float | int]:
-        """Count, mean and quantile estimates as one consistent reading."""
+    def snapshot(self) -> dict[str, object]:
+        """Count, mean, quantiles *and the raw buckets* as one reading.
+
+        ``buckets`` lists cumulative counts per upper bound in seconds
+        (Prometheus ``le`` convention, final bound ``"+Inf"``), so the
+        exposition layer can emit a genuine histogram instead of
+        pre-digested percentiles.
+        """
         with self._lock:
             count, total, maximum = self._count, self._sum, self._max
             p50 = self._percentile_locked(0.50)
+            p95 = self._percentile_locked(0.95)
             p99 = self._percentile_locked(0.99)
+            counts = list(self._counts)
+        buckets: list[dict[str, object]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self._bounds, counts):
+            cumulative += bucket_count
+            buckets.append({"le": bound, "count": cumulative})
+        buckets.append({"le": "+Inf", "count": cumulative + counts[-1]})
         return {
             "count": count,
+            "sum_seconds": round(total, 9),
             "mean_ms": round(1000.0 * total / count, 3) if count else 0.0,
             "p50_ms": round(1000.0 * p50, 3),
+            "p95_ms": round(1000.0 * p95, 3),
             "p99_ms": round(1000.0 * p99, 3),
             "max_ms": round(1000.0 * maximum, 3),
+            "buckets": buckets,
         }

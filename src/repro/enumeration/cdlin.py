@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.config import codegen_enabled
+from repro.obs.trace import NULL_SPAN, current_trace, span, traced_answers
 from repro.data.instance import Instance
 from repro.data.interning import TERMS
 from repro.cq.atoms import Atom, Variable
@@ -65,6 +66,7 @@ class CDLinEnumerator:
         decomposition: "FreeConnexDecomposition | None" = None,
         codegen: bool | None = None,
         codegen_cache: "object | None" = None,
+        tracing: bool | None = None,
     ) -> None:
         self.original_query = query
         self.deduplicated, self._head_positions = query.deduplicated_head()
@@ -78,20 +80,27 @@ class CDLinEnumerator:
         # entry; standalone enumerators lazily create their own).
         self._codegen = codegen_enabled() if codegen is None else bool(codegen)
         self._codegen_cache = codegen_cache
-        self.reduced: ReducedQuery = build_reduced_query(
-            self.deduplicated,
-            instance,
-            keep_nulls=keep_nulls,
-            decomposition=decomposition,
-            interned=self._interned,
-            codegen=self._codegen,
-        )
-        self._order: list[Atom] = []
-        self._indexes: dict[Atom, dict[tuple, list[tuple]]] = {}
-        self._shared: dict[Atom, tuple[Variable, ...]] = {}
-        self._plan: tuple | None = None
-        if not self.reduced.is_empty and self.reduced.join_tree is not None:
-            self._prepare_indexes()
+        # ``False`` hard-disables the per-call ambient-trace check in
+        # :meth:`enumerate`; ``None``/``True`` join whatever trace is active.
+        self._tracing = tracing
+        with (NULL_SPAN if tracing is False else span("reduce", query=query.name)) as sp:
+            self.reduced: ReducedQuery = build_reduced_query(
+                self.deduplicated,
+                instance,
+                keep_nulls=keep_nulls,
+                decomposition=decomposition,
+                interned=self._interned,
+                codegen=self._codegen,
+            )
+            self._order: list[Atom] = []
+            self._indexes: dict[Atom, dict[tuple, list[tuple]]] = {}
+            self._shared: dict[Atom, tuple[Variable, ...]] = {}
+            self._plan: tuple | None = None
+            if not self.reduced.is_empty and self.reduced.join_tree is not None:
+                self._prepare_indexes()
+            if sp is not None:
+                sp.set("blocks", len(self._order))
+                sp.set("empty", self.reduced.is_empty)
         self._publish()
 
     def _publish(self) -> None:
@@ -300,7 +309,20 @@ class CDLinEnumerator:
         concurrently (maintenance replaces containers instead of mutating
         them).  Interned ids are decoded to terms here — and only here —
         so the emitted tuples are byte-identical to the term-object path.
+
+        This is a plain dispatcher, not a generator: when a trace is
+        ambient (and tracing was not hard-disabled at construction) the
+        walk is wrapped in an ``enumerate`` span that samples per-answer
+        delay; otherwise the walk generator is returned as-is, so the
+        disabled path adds no frame to the per-answer hot loop.
         """
+        if self._tracing is not False and current_trace() is not None:
+            return traced_answers(
+                self._enumerate_impl(), query=self.original_query.name
+            )
+        return self._enumerate_impl()
+
+    def _enumerate_impl(self) -> Iterator[tuple]:
         reduced, order, indexes, plan = self._snapshot
         if reduced.is_empty:
             return

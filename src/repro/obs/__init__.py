@@ -1,0 +1,52 @@
+"""Observability: query tracing, EXPLAIN reports, metrics exposition.
+
+Four small modules, layered so the rest of the engine can depend on them
+cycle-free:
+
+* :mod:`repro.obs.trace` — spans, traces, the ambient contextvar plumbing
+  and the process ring buffer (imports only the stdlib and
+  :mod:`repro.config`);
+* :mod:`repro.obs.explain` — turns a finished trace (plus an optional
+  prepared plan) into the phase-level EXPLAIN report;
+* :mod:`repro.obs.prometheus` — renders the ``/metrics`` document in
+  Prometheus text exposition format 0.0.4;
+* :mod:`repro.obs.slowlog` — the structured slow-query log (one JSON line
+  per offending query, with its trace id).
+"""
+
+from repro.obs.explain import explain_report, format_span_tree
+from repro.obs.prometheus import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACES,
+    DelayStats,
+    Span,
+    Trace,
+    TraceStore,
+    add_event,
+    current_span,
+    current_trace,
+    span,
+    start_trace,
+    traced_answers,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "TRACES",
+    "DelayStats",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "add_event",
+    "current_span",
+    "current_trace",
+    "explain_report",
+    "format_span_tree",
+    "render_prometheus",
+    "span",
+    "start_trace",
+    "traced_answers",
+]

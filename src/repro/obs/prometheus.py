@@ -1,0 +1,203 @@
+"""Prometheus text exposition (format 0.0.4) over the ``/metrics`` document.
+
+:func:`render_prometheus` takes the same nested dict the JSON ``/metrics``
+endpoint serves (see :meth:`repro.server.service.QueryService.metrics`) and
+flattens it into the plain-text format scrapers consume: ``# HELP`` /
+``# TYPE`` headers, ``_total``-suffixed counters, gauges for point-in-time
+values, and full cumulative-bucket histograms built from the raw buckets
+:meth:`repro.engine.stats.LatencyHistogram.snapshot` now exposes.
+
+The renderer is deliberately duck-typed over the dict — it imports nothing
+from the engine or server — so it keeps working for any embedder that
+assembles a metrics document of the same shape, and stays importable from
+every layer without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The content type Prometheus scrapers expect for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Engine snapshot fields that are point-in-time values, not monotone
+#: counters (everything else in ``EngineStats`` only ever grows).
+_ENGINE_GAUGES = frozenset({"plans_cached", "cursors_open", "interned_terms"})
+
+
+def _metric_name(*parts: str) -> str:
+    return _NAME_SANITIZER.sub("_", "_".join(parts))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _number(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+class _Exposition:
+    """Accumulates samples grouped per metric family, renders once."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, tuple[str, str, list[str]]] = {}
+
+    def sample(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        value: Any,
+        labels: dict[str, str] | None = None,
+        suffix: str = "",
+    ) -> None:
+        _, _, samples = self._families.setdefault(name, (kind, help_text, []))
+        samples.append(f"{name}{suffix}{_labels(labels or {})} {_number(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        snapshot: dict[str, Any],
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """One histogram family from a ``LatencyHistogram.snapshot()``."""
+        buckets = snapshot.get("buckets")
+        if not buckets:
+            return
+        labels = labels or {}
+        for bucket in buckets:
+            bound = bucket["le"]
+            le = "+Inf" if bound == "+Inf" else _number(float(bound))
+            self.sample(
+                name,
+                "histogram",
+                help_text,
+                bucket["count"],
+                {**labels, "le": le},
+                suffix="_bucket",
+            )
+        self.sample(
+            name, "histogram", help_text, snapshot.get("sum_seconds", 0.0), labels, "_sum"
+        )
+        self.sample(
+            name, "histogram", help_text, snapshot.get("count", 0), labels, "_count"
+        )
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name, (kind, help_text, samples) in self._families.items():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n"
+
+
+def render_prometheus(metrics: dict[str, Any]) -> str:
+    """The ``/metrics`` document as Prometheus text exposition 0.0.4."""
+    out = _Exposition()
+
+    service = metrics.get("service", {})
+    out.sample(
+        "repro_service_draining",
+        "gauge",
+        "Whether the service is refusing new work (1 while draining).",
+        bool(service.get("draining", False)),
+    )
+    out.sample(
+        "repro_service_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+        service.get("uptime_seconds", 0.0),
+    )
+    out.sample(
+        "repro_service_tenants",
+        "gauge",
+        "Number of provisioned tenants.",
+        service.get("tenants", 0),
+    )
+    for counter, value in sorted(service.get("counters", {}).items()):
+        out.sample(
+            _metric_name("repro_service", counter) + "_total",
+            "counter",
+            f"Service-wide count of {counter}.",
+            value,
+        )
+
+    # Engine snapshots: the cross-engine aggregate unlabeled, plus one
+    # labeled series per engine (ontology fingerprint prefix) when several
+    # ontologies are being served.
+    engines = dict(metrics.get("engines", {}))
+    aggregate = metrics.get("engine", {})
+    if aggregate:
+        engines[""] = aggregate
+    for engine_id, snapshot in sorted(engines.items()):
+        labels = {"engine": engine_id} if engine_id else {}
+        for field, value in sorted(snapshot.items()):
+            if field in _ENGINE_GAUGES:
+                out.sample(
+                    _metric_name("repro_engine", field),
+                    "gauge",
+                    f"Engine gauge {field}.",
+                    value,
+                    labels,
+                )
+            else:
+                out.sample(
+                    _metric_name("repro_engine", field) + "_total",
+                    "counter",
+                    f"Engine count of {field}.",
+                    value,
+                    labels,
+                )
+
+    for tenant_name, tenant in sorted(metrics.get("tenants", {}).items()):
+        labels = {"tenant": tenant_name}
+        for gauge in ("db_facts", "db_version", "inflight", "open_cursors"):
+            if gauge in tenant:
+                out.sample(
+                    _metric_name("repro_tenant", gauge),
+                    "gauge",
+                    f"Per-tenant gauge {gauge}.",
+                    tenant[gauge],
+                    labels,
+                )
+        for counter, value in sorted(tenant.get("counters", {}).items()):
+            out.sample(
+                _metric_name("repro_tenant", counter) + "_total",
+                "counter",
+                f"Per-tenant count of {counter}.",
+                value,
+                labels,
+            )
+        out.histogram(
+            "repro_tenant_latency_seconds",
+            "Per-tenant request latency (queries and cursor pages).",
+            tenant.get("latency", {}),
+            labels,
+        )
+
+    return out.render()

@@ -1,0 +1,72 @@
+"""The slow-query log: one structured JSON line per offending query.
+
+Operators tune a single threshold (``--slow-query-ms`` on the CLI,
+``slow_query_ms`` in :class:`repro.server.service.ServiceConfig`); any
+query whose end-to-end latency crosses it is written as one self-contained
+JSON object per line — machine-parsable, grep-able, and carrying the trace
+id so the offending execution can be pulled from the trace ring buffer
+(``/traces/{id}``, :data:`repro.obs.trace.TRACES`) while it is still there.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Emit a JSON line for every query slower than the threshold.
+
+    A ``None`` threshold disables the log (``record`` becomes a cheap
+    early return), so call sites can install one unconditionally.  Writes
+    go to ``stream`` (default ``sys.stderr``, resolved per write so test
+    harnesses that rebind it are respected) under a lock — one line per
+    record, never interleaved.
+    """
+
+    def __init__(self, threshold_ms: float | None, stream: TextIO | None = None):
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        self.threshold_ms = threshold_ms
+        self._stream = stream
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def record(
+        self,
+        *,
+        query: str,
+        elapsed_ms: float,
+        tenant: str | None = None,
+        trace_id: str | None = None,
+        answers: int | None = None,
+        **extra: Any,
+    ) -> bool:
+        """Log the query if it crossed the threshold; True when it did."""
+        if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
+            return False
+        entry: dict[str, Any] = {
+            "event": "slow_query",
+            "ts": round(time.time(), 3),
+            "elapsed_ms": round(elapsed_ms, 3),
+            "threshold_ms": self.threshold_ms,
+            "query": query,
+        }
+        if tenant is not None:
+            entry["tenant"] = tenant
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if answers is not None:
+            entry["answers"] = answers
+        entry.update(extra)
+        line = json.dumps(entry, sort_keys=True, default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            print(line, file=stream, flush=True)
+            self.emitted += 1
+        return True

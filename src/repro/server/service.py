@@ -39,13 +39,18 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.config import ExecutionOptions
+from repro.config import ExecutionOptions, tracing_enabled
 from repro.cq.query import QueryError
 from repro.data.instance import Database
 from repro.engine import LRUCache, QueryEngine
-from repro.engine.engine import AnswerCursor
+from repro.engine.engine import AnswerCursor, EngineStats
 from repro.engine.stats import EngineCounters, LatencyHistogram
 from repro.incremental.delta import Delta, apply_delta
+from repro.obs.explain import explain_report
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import TRACES, start_trace
 from repro.server.http import BadRequest, Request, Response
 from repro.workloads import get_workload
 
@@ -74,6 +79,14 @@ class ServiceConfig:
     incremental: bool = True
     #: ``None`` defers to the process default (``REPRO_NO_CODEGEN``).
     codegen: bool | None = None
+    #: Request-tracing tri-state: ``True`` traces every request, ``False``
+    #: hard-disables tracing (the ``X-Repro-Trace`` header is ignored),
+    #: ``None`` traces requests that ask for it — an ``X-Repro-Trace``
+    #: header, ``?explain=1``, or the ``REPRO_TRACE`` process default.
+    tracing: bool | None = None
+    #: Queries/pages slower than this (milliseconds) are written to the
+    #: slow-query log as JSON lines on stderr; ``None`` disables the log.
+    slow_query_ms: float | None = None
 
     def execution_options(self) -> ExecutionOptions:
         """The engine-facing view of this config (one options object)."""
@@ -82,6 +95,7 @@ class ServiceConfig:
             incremental=self.incremental,
             strict=self.strict,
             plan_cache_size=self.plan_cache_size,
+            tracing=self.tracing,
         )
 
 
@@ -146,6 +160,7 @@ class QueryService:
         self._engines: dict[str, QueryEngine] = {}
         self._tenants: dict[str, Tenant] = {}
         self._counters = EngineCounters()
+        self.slow_log = SlowQueryLog(self.config.slow_query_ms)
 
     # -- tenant management -------------------------------------------------
 
@@ -220,7 +235,33 @@ class QueryService:
                 {"status": "draining" if self.draining else "ok", "tenants": len(self._tenants)}
             )
         if parts == ["metrics"] and method == "GET":
+            if request.params.get("format") == "prometheus":
+                return Response(
+                    body=render_prometheus(self.metrics()).encode("utf-8"),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
             return Response.json(self.metrics())
+        if parts == ["traces"] and method == "GET":
+            count = request.param_int("count", 20)
+            return Response.json(
+                {
+                    "traces": [
+                        {
+                            "trace_id": trace.trace_id,
+                            "name": trace.name,
+                            "started_at": trace.started_at,
+                            "duration_ms": round(trace.duration_ms, 3),
+                            "spans": len(trace.spans),
+                        }
+                        for trace in TRACES.recent(count)
+                    ]
+                }
+            )
+        if len(parts) == 2 and parts[0] == "traces" and method == "GET":
+            trace = TRACES.get(parts[1])
+            if trace is None:
+                raise BadRequest(f"unknown trace {parts[1]!r}", status=404)
+            return Response.json(explain_report(trace))
         if parts == ["tenants"] and method == "GET":
             return Response.json(
                 {"tenants": [t.info() for _, t in sorted(self._tenants.items())]}
@@ -297,6 +338,37 @@ class QueryService:
         tenant.inflight += 1
         return None
 
+    # -- request tracing ---------------------------------------------------
+
+    def _trace_scope(self, request: Request, name: str, force: bool = False):
+        """The trace context for one request, or ``None`` when untraced.
+
+        ``tracing=False`` in the config hard-disables request tracing (the
+        ``X-Repro-Trace`` header is ignored); otherwise a request is traced
+        when the client sent a trace id, asked for ``?explain=1``
+        (``force``), or the config / ``REPRO_TRACE`` process default says
+        to trace everything.  The client-supplied id is adopted so the
+        trace can be correlated across systems; the id is echoed back in
+        the ``X-Repro-Trace`` response header either way.
+        """
+        if self.config.tracing is False:
+            return None
+        trace_id = request.headers.get("x-repro-trace") or None
+        if (
+            force
+            or trace_id is not None
+            or self.config.tracing
+            or tracing_enabled()
+        ):
+            return start_trace(name, trace_id=trace_id)
+        return None
+
+    @staticmethod
+    def _with_trace(response: Response, trace) -> Response:
+        if trace is not None:
+            response.headers["X-Repro-Trace"] = trace.trace_id
+        return response
+
     # -- threaded execution with cancellation ------------------------------
 
     async def _in_thread(self, tenant: Tenant, fn, *args):
@@ -362,29 +434,67 @@ class QueryService:
         return query
 
     async def _query(self, tenant: Tenant, request: Request) -> Response:
-        """Execute one query to completion: sorted complete answers."""
+        """Execute one query to completion: sorted complete answers.
+
+        ``?explain=1`` forces a trace and embeds the phase-level EXPLAIN
+        report (span tree, per-phase rollup, delay stats) in the response;
+        an ``X-Repro-Trace`` request header adopts the caller's trace id.
+        Traced responses — including 504s — echo the id back in the
+        ``X-Repro-Trace`` header.
+        """
         query = self._query_text(request)
+        explain = request.params.get("explain", "") in ("1", "true", "yes", "on")
         rejection = self._admit(tenant)
         if rejection is not None:
             return rejection
+        scope = self._trace_scope(request, f"query:{tenant.name}", force=explain)
+        trace = None
         started = time.perf_counter()
         try:
-            rows = await self._in_thread(tenant, self._execute_blocking, tenant, query)
+            try:
+                if scope is None:
+                    rows = await self._in_thread(
+                        tenant, self._execute_blocking, tenant, query
+                    )
+                else:
+                    with scope as trace:
+                        rows = await self._in_thread(
+                            tenant, self._execute_blocking, tenant, query
+                        )
+            except QueryTimeout as exc:
+                self.slow_log.record(
+                    query=query,
+                    elapsed_ms=1000 * (time.perf_counter() - started),
+                    tenant=tenant.name,
+                    trace_id=trace.trace_id if trace else None,
+                    outcome="timeout",
+                )
+                return self._with_trace(Response.error(504, str(exc)), trace)
         finally:
             tenant.inflight -= 1
         elapsed = time.perf_counter() - started
         tenant.latency.observe(elapsed)
         tenant.counters.bump("queries")
         self._counters.bump("queries")
-        return Response.json(
-            {
-                "tenant": tenant.name,
-                "answers": self._encode_rows(sorted(rows)),
-                "count": len(rows),
-                "elapsed_ms": round(1000 * elapsed, 3),
-                "db_version": tenant.database.version,
-            }
+        self.slow_log.record(
+            query=query,
+            elapsed_ms=1000 * elapsed,
+            tenant=tenant.name,
+            trace_id=trace.trace_id if trace else None,
+            answers=len(rows),
         )
+        payload = {
+            "tenant": tenant.name,
+            "answers": self._encode_rows(sorted(rows)),
+            "count": len(rows),
+            "elapsed_ms": round(1000 * elapsed, 3),
+            "db_version": tenant.database.version,
+        }
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+            if explain:
+                payload["explain"] = explain_report(trace, answers=len(rows))
+        return self._with_trace(Response.json(payload), trace)
 
     def _execute_blocking(
         self, cancel: threading.Event, tenant: Tenant, query: str
@@ -412,8 +522,18 @@ class QueryService:
         rejection = self._admit(tenant)
         if rejection is not None:
             return rejection
+        scope = self._trace_scope(request, f"cursor:{tenant.name}")
+        trace = None
         try:
-            cursor = await self._in_thread(tenant, self._open_blocking, tenant, query)
+            if scope is None:
+                cursor = await self._in_thread(
+                    tenant, self._open_blocking, tenant, query
+                )
+            else:
+                with scope as trace:
+                    cursor = await self._in_thread(
+                        tenant, self._open_blocking, tenant, query
+                    )
         finally:
             tenant.inflight -= 1
         tenant.cursor_seq += 1
@@ -423,14 +543,14 @@ class QueryService:
         # exhaustion, timeout, shutdown drain), the session deregisters.
         cursor.add_close_hook(lambda _c: tenant.cursors.pop(session.id, None))
         tenant.counters.bump("cursors_opened")
-        return Response.json(
-            {
-                "tenant": tenant.name,
-                "cursor": session.id,
-                "db_version": tenant.database.version,
-            },
-            status=201,
-        )
+        payload = {
+            "tenant": tenant.name,
+            "cursor": session.id,
+            "db_version": tenant.database.version,
+        }
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+        return self._with_trace(Response.json(payload, status=201), trace)
 
     def _open_blocking(
         self, cancel: threading.Event, tenant: Tenant, query: str
@@ -453,11 +573,19 @@ class QueryService:
         if rejection is not None:
             return rejection
         session.busy = True
+        scope = self._trace_scope(request, f"page:{tenant.name}")
+        trace = None
         started = time.perf_counter()
         try:
-            rows, exhausted = await self._in_thread(
-                tenant, self._page_blocking, session, count
-            )
+            if scope is None:
+                rows, exhausted = await self._in_thread(
+                    tenant, self._page_blocking, session, count
+                )
+            else:
+                with scope as trace:
+                    rows, exhausted = await self._in_thread(
+                        tenant, self._page_blocking, session, count
+                    )
         except QueryTimeout:
             # Clean cancellation: the worker already stopped at a page
             # boundary; close the cursor so the session does not leak.
@@ -466,20 +594,30 @@ class QueryService:
         finally:
             session.busy = False
             tenant.inflight -= 1
-        tenant.latency.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        tenant.latency.observe(elapsed)
         tenant.counters.bump("pages")
         self._counters.bump("pages")
+        self.slow_log.record(
+            query=session.query,
+            elapsed_ms=1000 * elapsed,
+            tenant=tenant.name,
+            trace_id=trace.trace_id if trace else None,
+            answers=len(rows),
+            cursor=session.id,
+        )
         if exhausted:
             session.cursor.close()
-        return Response.json(
-            {
-                "tenant": tenant.name,
-                "cursor": session.id,
-                "answers": self._encode_rows(rows),
-                "count": len(rows),
-                "done": exhausted,
-            }
-        )
+        payload = {
+            "tenant": tenant.name,
+            "cursor": session.id,
+            "answers": self._encode_rows(rows),
+            "count": len(rows),
+            "done": exhausted,
+        }
+        if trace is not None:
+            payload["trace_id"] = trace.trace_id
+        return self._with_trace(Response.json(payload), trace)
 
     @staticmethod
     def _page_blocking(
@@ -536,7 +674,9 @@ class QueryService:
             fingerprint[:12]: engine.snapshot().as_dict()
             for fingerprint, engine in sorted(self._engines.items())
         }
-        aggregate: dict[str, int] = {}
+        # Seed the aggregate with the full schema so scrapers see every key
+        # (as 0) even before the first engine exists or when codegen is off.
+        aggregate: dict[str, int] = EngineStats.zero().as_dict()
         for snapshot in engines.values():
             for key, value in snapshot.items():
                 # interned_terms is process-global; summing would double count.

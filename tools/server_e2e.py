@@ -10,7 +10,11 @@ CI's ``server-e2e`` job runs this script.  It
    :class:`repro.engine.QueryEngine` in this process and asserts every
    answer set is byte-identical — the paginated cursor must finish over the
    *pre-batch* snapshot, the re-query must see the post-batch database,
-4. shuts the server down with SIGTERM and asserts a clean exit with no
+4. exercises the observability surface: an ``?explain=1`` query carrying an
+   ``X-Repro-Trace`` header must echo the trace id and return a span tree,
+   and ``/metrics?format=prometheus`` must serve syntactically valid
+   text-format 0.0.4 exposition whose histogram buckets are consistent,
+5. shuts the server down with SIGTERM and asserts a clean exit with no
    leaked process.
 
 Exit status 0 only if every step holds.  Run locally with::
@@ -47,16 +51,64 @@ MUTATION = {
 }
 
 
-def request(base: str, method: str, path: str, payload: dict | None = None):
+def request(
+    base: str,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict | None = None,
+):
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
     req = urllib.request.Request(
         base + path,
         data=data,
         method=method,
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(req, timeout=30) as response:
-        return response.status, json.loads(response.read())
+        return response.status, json.loads(response.read()), dict(response.headers)
+
+
+def request_text(base: str, path: str):
+    """GET a path and return (status, content-type, body text) undecoded."""
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+_SAMPLE_LINE = r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.e+-]+(Inf)?$'
+
+
+def validate_prometheus(text: str) -> dict[str, float]:
+    """Validate text-format 0.0.4 exposition; return {sample name: value}."""
+    import re
+
+    samples: dict[str, float] = {}
+    typed: set[str] = set()
+    helped: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert parts[3] in ("counter", "gauge", "histogram"), line
+            typed.add(parts[2])
+            continue
+        assert re.match(_SAMPLE_LINE, line), f"malformed sample line {lineno}: {line!r}"
+        name_and_labels, value = line.rsplit(" ", 1)
+        samples[name_and_labels] = float(value)
+        bare = name_and_labels.split("{", 1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", bare)
+        assert family in typed or bare in typed, f"sample without TYPE: {line!r}"
+        assert family in helped or bare in helped, f"sample without HELP: {line!r}"
+    assert samples, "exposition contained no samples"
+    return samples
 
 
 def wait_ready(proc: subprocess.Popen) -> str:
@@ -133,30 +185,30 @@ def main() -> int:
         post_query, _post_page = direct_answers(mutated=True)
 
         # 1. plain query
-        status, body = request(base, "POST", "/tenants/default/query", {"query": QUERY})
+        status, body, _ = request(base, "POST", "/tenants/default/query", {"query": QUERY})
         assert status == 200, f"query returned {status}"
         check("query (pre-mutation)", body["answers"], pre_query)
 
         # 2. open a cursor and fetch the first page
-        status, body = request(
+        status, body, _ = request(
             base, "POST", "/tenants/default/cursors", {"query": PAGE_QUERY}
         )
         assert status == 201, f"cursor open returned {status}"
         cursor = body["cursor"]
-        status, body = request(
+        status, body, _ = request(
             base, "GET", f"/tenants/default/cursors/{cursor}?count=7"
         )
         assert status == 200 and not body["done"], "first page should not exhaust"
         collected = body["answers"]
 
         # 3. mutation batch lands while the cursor is mid-flight
-        status, body = request(base, "POST", "/tenants/default/facts", MUTATION)
+        status, body, _ = request(base, "POST", "/tenants/default/facts", MUTATION)
         assert status == 200, f"mutation returned {status}"
         assert body["added"] == 3, f"expected 3 effective adds, got {body['added']}"
 
         # 4. drain the cursor: must finish over the PRE-batch snapshot
         while True:
-            status, body = request(
+            status, body, _ = request(
                 base, "GET", f"/tenants/default/cursors/{cursor}?count=50"
             )
             assert status == 200, f"page returned {status}"
@@ -167,12 +219,12 @@ def main() -> int:
               sorted(collected), pre_page)
 
         # 5. a fresh query sees the post-batch database
-        status, body = request(base, "POST", "/tenants/default/query", {"query": QUERY})
+        status, body, _ = request(base, "POST", "/tenants/default/query", {"query": QUERY})
         assert status == 200
         check("query (post-mutation)", body["answers"], post_query)
 
         # 6. metrics are alive and consistent
-        status, body = request(base, "GET", "/metrics")
+        status, body, _ = request(base, "GET", "/metrics")
         assert status == 200
         tenant = body["tenants"]["default"]
         assert tenant["counters"]["queries"] == 2, tenant["counters"]
@@ -180,6 +232,41 @@ def main() -> int:
             "mutation should have been maintained incrementally"
         )
         print("ok: metrics (2 queries counted, incremental maintenance ticked)")
+
+        # 7. traced explain query: span tree in payload, trace id echoed back
+        trace_id = "e2e0deadbeef0042"
+        status, body, resp_headers = request(
+            base,
+            "POST",
+            "/tenants/default/query?explain=1",
+            {"query": QUERY},
+            headers={"X-Repro-Trace": trace_id},
+        )
+        assert status == 200, f"explain query returned {status}"
+        assert resp_headers.get("X-Repro-Trace") == trace_id, (
+            f"trace id not propagated: {resp_headers.get('X-Repro-Trace')!r}"
+        )
+        explain = body["explain"]
+        assert explain["trace_id"] == trace_id, explain["trace_id"]
+        phase_names = set(explain["phases"])
+        assert {"plan", "enumerate"} <= phase_names, sorted(phase_names)
+        check("explain query (post-mutation)", body["answers"], post_query)
+        print(f"ok: explain payload with phases {sorted(phase_names)}")
+
+        # 8. Prometheus scrape: valid 0.0.4 exposition, consistent histogram
+        status, ctype, text = request_text(base, "/metrics?format=prometheus")
+        assert status == 200
+        assert ctype.startswith("text/plain; version=0.0.4"), ctype
+        samples = validate_prometheus(text)
+        queries = samples['repro_tenant_queries_total{tenant="default"}']
+        assert queries == 3.0, f"expected 3 queries scraped, got {queries}"
+        inf_bucket = samples[
+            'repro_tenant_latency_seconds_bucket{le="+Inf",tenant="default"}'
+        ]
+        count = samples['repro_tenant_latency_seconds_count{tenant="default"}']
+        assert inf_bucket == count > 0, (inf_bucket, count)
+        assert "repro_engine_plans_compiled_total" in text
+        print(f"ok: prometheus exposition ({len(samples)} samples validated)")
     finally:
         if proc.poll() is None:
             proc.send_signal(signal.SIGTERM)
