@@ -214,6 +214,7 @@ def _run_command(args: argparse.Namespace) -> int:
             incremental=not args.no_incremental,
             strict=not args.no_strict,
             tracing=True if args.trace else None,
+            workers=args.workers,
         ),
     )
     slow_log = SlowQueryLog(args.slow_query_ms)
@@ -453,6 +454,7 @@ def _serve(args: argparse.Namespace) -> int:
         codegen=False if args.no_codegen else None,
         tracing=True if args.trace else None,
         slow_query_ms=args.slow_query_ms,
+        workers=args.workers,
     )
     tenants: list[tuple[str, str, int, int]] = []
     for spec in args.tenant:
@@ -569,7 +571,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="thread-pool size for --batch (default: auto)",
+        metavar="N",
+        help=(
+            "worker processes for the sharded parallel backend (chase, "
+            "semi-join reduce, batch fan-out), as with REPRO_WORKERS=N; "
+            "1 is fully sequential, and the same N sizes the --batch "
+            "thread pool (default: REPRO_WORKERS, else 1)"
+        ),
     )
     run.add_argument("--show", type=int, default=0, help="sample answers to print")
     run.add_argument("--json", action="store_true", help="emit one JSON report")
@@ -784,6 +792,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="MS",
         help="log queries/pages slower than MS milliseconds as JSON lines on stderr",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes per tenant engine for the sharded parallel "
+            "backend, as with REPRO_WORKERS=N (default: REPRO_WORKERS, "
+            "else 1 = sequential)"
+        ),
     )
     serve.set_defaults(func=_serve)
     return parser

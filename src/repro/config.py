@@ -41,15 +41,18 @@ from typing import Iterator
 __all__ = [
     "ExecutionOptions",
     "codegen_enabled",
+    "default_workers",
     "interning_enabled",
     "resolve_option",
     "set_codegen",
     "set_interning",
     "set_tracing",
+    "set_workers",
     "tracing_enabled",
     "use_codegen",
     "use_interning",
     "use_tracing",
+    "use_workers",
 ]
 
 
@@ -69,6 +72,22 @@ _CODEGEN = not _env_disabled("REPRO_NO_CODEGEN")
 # Tracing has the opposite polarity: it is *off* unless asked for, because
 # it is diagnostic machinery, not an execution strategy.
 _TRACING = _env_disabled("REPRO_TRACE")
+
+
+def _env_workers(variable: str) -> int:
+    """The worker-count default from ``variable`` (anything invalid → 1)."""
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+# Process-worker default: 1 means sequential; REPRO_WORKERS=N opts every
+# engine without an explicit ``workers`` setting into N-process execution.
+_WORKERS = _env_workers("REPRO_WORKERS")
 
 
 def interning_enabled() -> bool:
@@ -167,6 +186,41 @@ def use_tracing(enabled: bool) -> Iterator[None]:
         set_tracing(previous)
 
 
+def default_workers() -> int:
+    """The process-wide worker-count default (1 = sequential, default).
+
+    Captured from ``REPRO_WORKERS`` at import time and adjusted by
+    :func:`set_workers`.  This is the fallback behind
+    ``ExecutionOptions.workers = None``; values above 1 enable the
+    process-parallel chase/reduce/batch paths of :mod:`repro.parallel`
+    (sequential fallback on platforms without ``fork``).
+    """
+    return _WORKERS
+
+
+def set_workers(count: int) -> int:
+    """Set the process-wide worker default; returns the previous setting.
+
+    Only engines/materializations that resolve their worker count *after*
+    the call are affected (worker pools already forked keep running).
+    """
+    global _WORKERS
+    with _STATE_LOCK:
+        previous = _WORKERS
+        _WORKERS = max(1, int(count))
+    return previous
+
+
+@contextmanager
+def use_workers(count: int) -> Iterator[None]:
+    """Context manager scoping :func:`set_workers` (A/B test helper)."""
+    previous = set_workers(count)
+    try:
+        yield
+    finally:
+        set_workers(previous)
+
+
 def resolve_option(explicit, options_value, default):
     """Apply the documented precedence: explicit arg > options > default.
 
@@ -203,6 +257,12 @@ class ExecutionOptions:
       every execution, ``False`` hard-disables all instrumentation (spans
       are never even looked for), ``None`` joins ambient traces and
       otherwise follows the ``REPRO_TRACE`` process default.
+    * ``workers`` — process-parallel execution: ``N > 1`` shards the chase,
+      the Yannakakis reduce passes and ``execute_batch`` across ``N``
+      forked worker processes (:mod:`repro.parallel`); ``1`` forces the
+      sequential paths and ``None`` follows the ``REPRO_WORKERS`` process
+      default.  Enumeration always streams from one merged cursor in the
+      calling process, so the constant-delay contract is unchanged.
     """
 
     interning: bool | None = None
@@ -212,6 +272,7 @@ class ExecutionOptions:
     plan_cache_size: int = 64
     strict: bool = True
     tracing: bool | None = None
+    workers: int | None = None
 
     def resolved_interning(self) -> bool:
         """The interning flag with the process default filled in."""
@@ -224,6 +285,10 @@ class ExecutionOptions:
     def resolved_tracing(self) -> bool:
         """The tracing flag with the process default filled in."""
         return tracing_enabled() if self.tracing is None else self.tracing
+
+    def resolved_workers(self) -> int:
+        """The worker count with the process default filled in (min 1)."""
+        return default_workers() if self.workers is None else max(1, self.workers)
 
     def replace(self, **changes) -> "ExecutionOptions":
         """A copy with ``changes`` applied (dataclass ``replace`` sugar)."""

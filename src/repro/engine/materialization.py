@@ -33,6 +33,7 @@ it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -46,6 +47,7 @@ from repro.engine.cache import LRUCache
 from repro.engine.plan import PreparedQuery
 from repro.incremental.provenance import ChaseMaintainer
 from repro.obs.trace import NULL_SPAN, current_trace, span, traced_answers
+from repro.parallel.runtime import sharded_semijoins
 from repro.tgds.ontology import Ontology
 
 
@@ -113,6 +115,7 @@ class Materialization:
         fallback_ratio: float = 0.1,
         codegen: bool | None = None,
         tracing: bool | None = None,
+        workers: int | None = None,
     ) -> None:
         self.ontology = ontology
         self.database = database
@@ -120,14 +123,27 @@ class Materialization:
         self.fallback_ratio = fallback_ratio
         self.codegen = codegen
         self.tracing = tracing
+        # ``None`` follows the REPRO_WORKERS process default at each pool
+        # decision; values > 1 enable the process-parallel chase (when
+        # ``incremental`` is off — provenance capture is worker-side-blind)
+        # and the parallel reduce/batch paths (always).
+        self.workers = workers
         self.chase: QueryDirectedChase | None = None
         self._maintainer: ChaseMaintainer | None = None
+        # The persistent worker pool of the current chase epoch: forked by
+        # the parallel chase (replicas kept in sync by the boundary
+        # exchange) or on demand post-chase (fork snapshots the chased
+        # instance).  Closed whenever the chased instance changes — any
+        # revalidation, invalidation or deepening re-fork.
+        self._pool = None
         self._states: LRUCache[QueryState] = LRUCache(state_cache_size)
         self.chase_builds = 0
         self.chase_increments = 0
         self.incremental_fallbacks = 0
         self.state_builds = 0
         self.invalidations = 0
+        self.parallel_chases = 0
+        self.parallel_fallbacks = 0
 
     @property
     def chase_rebuilds(self) -> int:
@@ -162,6 +178,8 @@ class Materialization:
         """
         if self.chase is None or self.chase.is_current():
             return
+        # Any mutation stales the worker replicas along with the chase.
+        self._close_pool()
         with self._span("revalidate") as sp:
             incremental = self._apply_incremental()
             if sp is not None:
@@ -232,9 +250,68 @@ class Materialization:
         """Unconditionally drop the chase and every query state."""
         if self.chase is not None or self._states:
             self.invalidations += 1
+        self._close_pool()
         self.chase = None
         self._maintainer = None
         self._states.clear()
+
+    # -- process-parallel execution ----------------------------------------
+
+    def _worker_count(self) -> int:
+        """The effective worker count (``None`` → process default)."""
+        from repro.config import default_workers
+
+        return default_workers() if self.workers is None else max(1, self.workers)
+
+    def _parallel_available(self) -> bool:
+        if self._worker_count() < 2:
+            return False
+        from repro.parallel import supported
+
+        return supported()
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release process-level resources (the worker pool), keep state.
+
+        Safe to call at any time: the next parallel operation simply forks
+        a fresh pool from the current chase.  ``QueryEngine.shutdown`` calls
+        this for every cached materialization.
+        """
+        self._close_pool()
+
+    def ensure_pool(self):
+        """The worker pool of the current chase epoch, forked on demand.
+
+        Returns ``None`` when parallelism is off/unavailable or there is no
+        chase yet.  A pool forked here snapshots the chased instance via
+        fork copy-on-write (instance constants are force-interned first, so
+        dense ids agree across the processes); a pool inherited from the
+        parallel chase is reused as-is — its replicas received every delta.
+        """
+        if not self._parallel_available() or self.chase is None:
+            return None
+        pool = self._pool
+        if pool is not None and pool.alive:
+            return pool
+        self._pool = None
+        from repro.parallel import ParallelExecutionError, WorkerBootstrap, WorkerPool
+        from repro.parallel.chase import _pre_intern_instance
+
+        try:
+            _pre_intern_instance(self.chase.instance)
+            self._pool = WorkerPool(
+                self._worker_count(),
+                WorkerBootstrap(self.ontology, self.chase.instance, self.codegen),
+            )
+        except ParallelExecutionError:
+            self.parallel_fallbacks += 1
+            return None
+        return self._pool
 
     def chase_for(self, prepared: PreparedQuery) -> QueryDirectedChase:
         """The shared chase, (re)built if stale or not deep enough."""
@@ -244,28 +321,69 @@ class Materialization:
             depth = prepared.null_depth
             if self.chase is not None:
                 depth = max(depth, self.chase.null_depth_bound)
+            # A deeper (or first) chase starts a new epoch: the replicas of
+            # any existing pool no longer match the instance we will build.
+            self._close_pool()
             with self._span("chase", null_depth=depth) as sp:
                 recorder = (
                     ChaseMaintainer(self.database, self.ontology, max_null_depth=depth)
                     if self.incremental
                     else None
                 )
-                self.chase = query_directed_chase(
-                    self.database,
-                    self.ontology,
-                    prepared.omq.query,
-                    null_depth=depth,
-                    reuse=self.chase,
-                    recorder=recorder,
-                    codegen=self.codegen,
-                )
-                if recorder is not None:
-                    recorder.attach(self.chase.result)
-                self._maintainer = recorder
+                parallel = False
+                boundary = 0
+                # The parallel chase cannot feed a provenance recorder
+                # (suppression witnesses stay worker-side), so it only runs
+                # for non-incremental materializations.
+                if recorder is None and self._parallel_available():
+                    from repro.parallel import ParallelExecutionError, parallel_chase
+
+                    snapshot = self.database.version
+                    try:
+                        run = parallel_chase(
+                            self.database,
+                            self.ontology,
+                            self._worker_count(),
+                            max_null_depth=depth,
+                            max_facts=5_000_000,
+                            codegen=self.codegen,
+                        )
+                    except ParallelExecutionError:
+                        self.parallel_fallbacks += 1
+                    else:
+                        self.chase = QueryDirectedChase(
+                            database=self.database,
+                            ontology=self.ontology,
+                            query=prepared.omq.query,
+                            result=run.result,
+                            null_depth_bound=depth,
+                            database_version=snapshot,
+                        )
+                        self._pool = run.pool
+                        self.parallel_chases += 1
+                        boundary = run.boundary_facts
+                        parallel = True
+                if not parallel:
+                    self.chase = query_directed_chase(
+                        self.database,
+                        self.ontology,
+                        prepared.omq.query,
+                        null_depth=depth,
+                        reuse=self.chase,
+                        recorder=recorder,
+                        codegen=self.codegen,
+                    )
+                    if recorder is not None:
+                        recorder.attach(self.chase.result)
+                self._maintainer = recorder if not parallel else None
                 self.chase_builds += 1
                 if sp is not None:
                     sp.set("db_facts", len(self.database))
                     sp.set("chase_facts", len(self.chase.instance))
+                    sp.set("parallel", parallel)
+                    if parallel:
+                        sp.set("workers", self._worker_count())
+                        sp.set("boundary_facts", boundary)
         return self.chase
 
     def state_for(self, prepared: PreparedQuery) -> QueryState:
@@ -275,17 +393,34 @@ class Materialization:
         if state is None:
             chase = self.chase_for(prepared)
             if prepared.supports_enumeration:
-                enumerator: CDLinEnumerator | MaterializedAnswers = CDLinEnumerator(
-                    prepared.omq.query,
-                    chase.instance,
-                    keep_nulls=False,
-                    decomposition=prepared.decomposition,
-                    codegen=self.codegen,
-                    # The plan's own closure cache: compiled walks are shared
-                    # across databases and dropped on plan-cache eviction.
-                    codegen_cache=prepared.codegen,
-                    tracing=self.tracing,
+                # With a live pool, the component projections fan out across
+                # the workers and large semi-joins inside the reduce run
+                # sharded (the ambient-pool hook in the semijoin kernel).
+                pool = self.ensure_pool()
+                projections = None
+                if pool is not None and prepared.decomposition is not None:
+                    from repro.parallel import parallel_projections
+
+                    projections = parallel_projections(
+                        pool, prepared.decomposition, keep_nulls=False
+                    )
+                reduce_scope = (
+                    sharded_semijoins(pool) if pool is not None else nullcontext()
                 )
+                with reduce_scope:
+                    enumerator: CDLinEnumerator | MaterializedAnswers = CDLinEnumerator(
+                        prepared.omq.query,
+                        chase.instance,
+                        keep_nulls=False,
+                        decomposition=prepared.decomposition,
+                        codegen=self.codegen,
+                        # The plan's own closure cache: compiled walks are
+                        # shared across databases and dropped on plan-cache
+                        # eviction.
+                        codegen_cache=prepared.codegen,
+                        tracing=self.tracing,
+                        projections=projections,
+                    )
             else:
                 with self._span("reduce", materialized=True):
                     enumerator = MaterializedAnswers(

@@ -156,6 +156,7 @@ def build_reduced_query(
     decomposition: "FreeConnexDecomposition | None" = None,
     interned: bool = False,
     codegen: bool | None = None,
+    projections: "dict[int, set | None] | None" = None,
 ) -> ReducedQuery:
     """Build ``q1`` and ``D1`` from ``q0`` and ``D0``.
 
@@ -171,6 +172,12 @@ def build_reduced_query(
     ``interned`` builds the block relations over dense term ids (columnar
     kernels in the reducer, id-hashing in the per-block indexes); callers
     then decode at answer emission.  Only valid for interned instances.
+
+    ``projections`` may carry component projections computed elsewhere
+    (the process-parallel reduce of :mod:`repro.parallel.reduce`), keyed
+    by component index with the same ``set | None`` contract as
+    :func:`component_projection`; components present in the map skip the
+    local bottom-up pass.
     """
     if len(set(query.answer_variables)) != len(query.answer_variables):
         raise QueryError("reduce requires a head without repeated variables")
@@ -184,9 +191,12 @@ def build_reduced_query(
     relations: dict[Atom, AtomRelation] = {}
     is_empty = False
     for index, component in enumerate(decomposition.components):
-        projection = component_projection(
-            component, instance, keep_nulls, interned=interned, codegen=codegen
-        )
+        if projections is not None and index in projections:
+            projection = projections[index]
+        else:
+            projection = component_projection(
+                component, instance, keep_nulls, interned=interned, codegen=codegen
+            )
         if projection is None:
             is_empty = True
             break

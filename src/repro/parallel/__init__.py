@@ -1,0 +1,65 @@
+"""Sharded shared-memory scale-out for the chase and the reduce passes.
+
+The package fans the three heavy phases of the engine out across a
+persistent pool of *forked* worker processes:
+
+* the semi-naive chase delta loop (:mod:`repro.parallel.chase`) — workers
+  match their hash-partition slice of each round's delta against a
+  replicated instance, the master fires centrally;
+* the Yannakakis reduce passes (:mod:`repro.parallel.reduce`) — component
+  projections scatter across workers, and large semi-join filters run
+  sharded over :mod:`multiprocessing.shared_memory` segments attached
+  zero-copy (:mod:`repro.parallel.shm`);
+* ``execute_batch`` — whole queries scatter to workers that enumerate
+  against their replica (:mod:`repro.parallel.pool`'s ``execute`` task).
+
+Enumeration itself still streams from one merged cursor in the calling
+process — the constant-delay contract is untouched.  Everything degrades
+to the sequential paths when ``fork`` is unavailable, a worker crashes, or
+``workers`` resolves to 1; failure never hangs and never leaks a
+``/dev/shm`` segment (see :data:`repro.parallel.shm.SEGMENTS`).
+"""
+
+from repro.parallel.chase import ParallelChaseRun, parallel_chase
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    WorkerBootstrap,
+    WorkerCrashed,
+    WorkerPool,
+    supported,
+)
+from repro.parallel.reduce import parallel_filter_by_keys, parallel_projections
+from repro.parallel.runtime import (
+    PARALLEL_STATS,
+    maybe_parallel_filter,
+    sharded_semijoins,
+)
+from repro.parallel.shards import hash_partition, mix64, shard_of
+from repro.parallel.shm import (
+    SEGMENTS,
+    SharedColumns,
+    SharedFactBlock,
+    active_segments,
+)
+
+__all__ = [
+    "PARALLEL_STATS",
+    "ParallelChaseRun",
+    "ParallelExecutionError",
+    "SEGMENTS",
+    "SharedColumns",
+    "SharedFactBlock",
+    "WorkerBootstrap",
+    "WorkerCrashed",
+    "WorkerPool",
+    "active_segments",
+    "hash_partition",
+    "maybe_parallel_filter",
+    "mix64",
+    "parallel_chase",
+    "parallel_filter_by_keys",
+    "parallel_projections",
+    "sharded_semijoins",
+    "shard_of",
+    "supported",
+]

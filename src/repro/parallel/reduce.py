@@ -1,0 +1,109 @@
+"""Parallel Yannakakis reduce: sharded semi-joins and component projections.
+
+Two fan-outs, both over the materialization's persistent pool (whose
+replicas hold the chased instance):
+
+* :func:`parallel_projections` — the per-component bottom-up semi-join
+  passes of :func:`repro.enumeration.reduction.component_projection` are
+  independent of each other, so they scatter round-robin across the
+  workers; the master hands the finished projections to
+  :func:`~repro.enumeration.reduction.build_reduced_query`, which then
+  only runs the (cheap) cross-block full reducer.  With ``keep_nulls``
+  off, surviving rows are constant-only, so interned rows are pre-fork
+  term ids and ship back verbatim.
+
+* :func:`parallel_filter_by_keys` — the sharded hash semi-join behind
+  :func:`repro.parallel.runtime.maybe_parallel_filter`: hash-partition the
+  probe relation *and* the key set by the same
+  :func:`~repro.parallel.shards.shard_of`, ship each row shard as a
+  :class:`~repro.parallel.shm.SharedColumns` segment (zero-copy attach on
+  the worker side), and concatenate the surviving rows.  Equal keys land
+  in equal shards, so the union of per-shard filters is exactly the
+  sequential filter.
+
+Both return ``None`` / raise with every segment unlinked; callers treat
+failure as "run the sequential kernel".
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.parallel.pool import ParallelExecutionError, WorkerPool
+from repro.parallel.runtime import PARALLEL_STATS
+from repro.parallel.shards import hash_partition, shard_rows
+
+__all__ = ["parallel_filter_by_keys", "parallel_projections"]
+
+
+def parallel_projections(
+    pool: WorkerPool,
+    decomposition,
+    keep_nulls: bool,
+) -> dict[int, set | None] | None:
+    """Compute every component projection across the pool, or ``None``.
+
+    Returns ``{component_index: projection_rows_or_None}`` on success
+    (``None`` per component means unsatisfiable, mirroring
+    ``component_projection``).  Returns ``None`` — sequential fallback —
+    when the components do not pickle or a worker failed.
+    """
+    components = list(enumerate(decomposition.components))
+    if not components:
+        return {}
+    payloads: list[list] = [[] for _ in range(pool.worker_count)]
+    for slot, (index, component) in enumerate(components):
+        payloads[slot % pool.worker_count].append((index, component, keep_nulls))
+    try:
+        pickle.dumps(payloads)
+    except Exception:
+        return None
+    try:
+        responses = pool.scatter("project", payloads)
+    except ParallelExecutionError:
+        return None
+    projections: dict[int, set | None] = {}
+    for response in responses:
+        for index, rows in response:
+            projections[index] = None if rows is None else set(rows)
+    PARALLEL_STATS.bump("parallel_projections", len(components))
+    return projections
+
+
+def parallel_filter_by_keys(
+    pool: WorkerPool,
+    store,
+    positions,
+    keys,
+) -> list[tuple] | None:
+    """Sharded equivalent of ``ColumnarRelation.filter_by_keys``.
+
+    Rows and keys are partitioned by the same deterministic hash of the
+    key projection, each worker filters its shard against its key slice
+    through the shared segment, and the master concatenates.  Row order is
+    not preserved — every caller consumes the result as a set.  Returns
+    ``None`` when there is no key projection to shard on; raises
+    :class:`~repro.parallel.pool.ParallelExecutionError` on worker failure
+    (with all segments unlinked).
+    """
+    positions = tuple(positions)
+    if not positions:
+        return None
+    count = pool.worker_count
+    shards = hash_partition(store, positions, count)
+    try:
+        key_shards = shard_rows(keys, tuple(range(len(positions))), count)
+        payloads = [
+            {
+                "name": shards[index].name,
+                "positions": positions,
+                "keys": set(key_shards[index]),
+            }
+            for index in range(count)
+        ]
+        results = pool.scatter("filter", payloads)
+    finally:
+        for shard in shards:
+            shard.unlink()
+    PARALLEL_STATS.bump("semijoin_shards", count)
+    return [tuple(row) for part in results for row in part]

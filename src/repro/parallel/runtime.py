@@ -1,0 +1,102 @@
+"""Process-wide parallel-execution state: counters and the ambient pool.
+
+:data:`PARALLEL_STATS` mirrors :data:`repro.engine.codegen.CODEGEN_STATS`:
+one process-wide counter set the engine snapshot reads, so shard/exchange
+activity shows up in :class:`~repro.engine.engine.EngineStats` (and from
+there in ``/metrics``) no matter which engine drove it.
+
+The *ambient pool* is how the low-level semi-join kernel opts into sharded
+execution without inverting the package layering: the materialization wraps
+its reduce phase in :func:`sharded_semijoins`, and
+:func:`maybe_parallel_filter` — called from
+:func:`repro.yannakakis.semijoin.semijoin` — runs the filter across the
+pool's workers when a pool is ambient, the relation is large enough to
+amortize the segment round-trip, and we are in the pool's master process
+(forked workers inherit the context variable and must never recurse into
+the pool they are part of).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = [
+    "PARALLEL_STATS",
+    "ParallelStats",
+    "maybe_parallel_filter",
+    "sharded_semijoins",
+]
+
+#: Row-count threshold below which a sharded semi-join cannot win (the
+#: segment setup plus result pickling dominate); module-level so tests can
+#: lower it to force the parallel kernel on small relations.
+PARALLEL_SEMIJOIN_THRESHOLD = 50_000
+
+
+class ParallelStats:
+    """Thread-safe named counters for the parallel subsystem."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+PARALLEL_STATS = ParallelStats()
+
+_AMBIENT_POOL: ContextVar[object | None] = ContextVar("repro_parallel_pool", default=None)
+
+
+@contextmanager
+def sharded_semijoins(pool) -> Iterator[None]:
+    """Make ``pool`` ambient for semi-joins within the ``with`` body."""
+    token = _AMBIENT_POOL.set(pool)
+    try:
+        yield
+    finally:
+        _AMBIENT_POOL.reset(token)
+
+
+def ambient_pool():
+    """The ambient pool, or ``None`` (also ``None`` inside its workers)."""
+    pool = _AMBIENT_POOL.get()
+    if pool is None or not pool.alive or pool.master_pid != os.getpid():
+        return None
+    return pool
+
+
+def maybe_parallel_filter(store, positions, keys):
+    """Sharded hash semi-join over the ambient pool, or ``None``.
+
+    ``None`` tells the caller to run the sequential kernel: there is no
+    ambient pool, the relation is below the amortization threshold, or the
+    parallel path failed (worker crash → the pool is closed and every later
+    call degrades to sequential, never to a hang).
+    """
+    if len(store) < PARALLEL_SEMIJOIN_THRESHOLD:
+        return None
+    pool = ambient_pool()
+    if pool is None:
+        return None
+    from repro.parallel.pool import ParallelExecutionError
+    from repro.parallel.reduce import parallel_filter_by_keys
+
+    try:
+        return parallel_filter_by_keys(pool, store, positions, keys)
+    except ParallelExecutionError:
+        return None

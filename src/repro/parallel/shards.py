@@ -1,0 +1,66 @@
+"""Deterministic hash partitioning of columnar relations into shm shards.
+
+Python's builtin ``hash`` is process-stable for ints but its distribution
+over small dense ids is poor (``hash(n) == n``), and the chase needs the
+*same* shard decision in the master and in every worker.  :func:`mix64` is
+a splitmix64-style finalizer: a fixed, well-distributed int→int mixing with
+no per-process state, so ``shard_of(key, n)`` is reproducible everywhere.
+
+:func:`hash_partition` splits a :class:`~repro.data.columns.ColumnarRelation`
+by join-key positions into per-shard :class:`~repro.parallel.shm.SharedColumns`
+segments that workers attach zero-copy; rows with equal keys always land in
+the same shard, which is what makes per-shard semi-joins exact.
+"""
+
+from __future__ import annotations
+
+from repro.data.columns import ColumnarRelation
+from repro.parallel.shm import SharedColumns
+
+__all__ = ["hash_partition", "mix64", "shard_of", "shard_rows"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer: a fixed, process-independent int mixing."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+def shard_of(key: tuple[int, ...], shard_count: int) -> int:
+    """The shard owning ``key`` — identical in every process."""
+    acc = 0x2545F4914F6CDD1D
+    for value in key:
+        acc = mix64(acc ^ mix64(value & _MASK))
+    return acc % shard_count
+
+
+def shard_rows(rows, key_positions: tuple[int, ...], shard_count: int) -> list[list[tuple]]:
+    """Partition row tuples by the shard of their key projection."""
+    shards: list[list[tuple]] = [[] for _ in range(shard_count)]
+    if key_positions:
+        for row in rows:
+            shards[shard_of(tuple(row[p] for p in key_positions), shard_count)].append(row)
+    else:
+        for index, row in enumerate(rows):
+            shards[index % shard_count].append(row)
+    return shards
+
+
+def hash_partition(
+    store: ColumnarRelation,
+    key_positions: tuple[int, ...],
+    shard_count: int,
+) -> list[SharedColumns]:
+    """Split ``store`` into ``shard_count`` shm-backed shards by join key.
+
+    Every returned :class:`SharedColumns` is a segment this process owns
+    (and must ``unlink``); workers attach by name.  Rows whose key
+    projection hashes to shard ``i`` appear, in their original relative
+    order, in shard ``i``.
+    """
+    shards = shard_rows(iter(store), tuple(key_positions), shard_count)
+    return [SharedColumns.create(store.arity, rows) for rows in shards]

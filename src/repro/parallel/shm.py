@@ -1,0 +1,311 @@
+"""Shared-memory segments for zero-copy fact/row exchange between processes.
+
+Relations in this engine are already flat ``array('q')`` columns of dense
+term ids (:mod:`repro.data.columns`), which makes them directly mappable
+into ``multiprocessing.shared_memory``: the master writes each column into
+one segment and workers *attach* by name, reading the same physical pages
+through ``memoryview``-backed int64 views — no copy, no pickling of rows.
+
+Two block shapes cover every exchange the parallel subsystem performs:
+
+* :class:`SharedColumns` — a columnar block (fixed arity, parallel int64
+  columns) used by the sharded semi-join kernel and the shard transport;
+* :class:`SharedFactBlock` — a flat record stream ``[relation_id, arity,
+  arg ids...]*`` used for the chase boundary-fact exchange, where one round
+  mixes relations of different arities.
+
+Cleanup discipline (the ``/dev/shm`` leak class): every segment *created*
+here is registered in the process-wide :data:`SEGMENTS` registry and
+unlinked either by the operation's ``finally`` block, by
+:func:`SegmentRegistry.unlink_all` at interpreter exit (``atexit``), or —
+as a last resort if the process dies hard — by the stdlib resource tracker.
+Workers only ever *attach*: they close their mapping but never unlink, and
+their attachments are never tracker-registered, so a worker exit cannot
+destroy (or complain about) a segment the master still serves.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.data.terms import Null
+from repro.parallel.runtime import PARALLEL_STATS
+
+__all__ = [
+    "SEGMENTS",
+    "SegmentRegistry",
+    "SharedColumns",
+    "SharedFactBlock",
+    "active_segments",
+]
+
+_INT64 = 8
+
+
+class SegmentRegistry:
+    """Process-wide accounting of created (not yet unlinked) segments.
+
+    ``unlink_all`` is idempotent and safe to call at any point — it is the
+    ``atexit`` backstop behind the per-operation ``finally`` unlinks, so an
+    interrupted ``execute_batch`` (or a crashed test) cannot strand
+    segments in ``/dev/shm``.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+
+    def register(self, shm: shared_memory.SharedMemory) -> None:
+        with self._lock:
+            self._segments[shm.name] = shm
+        PARALLEL_STATS.bump("segments")
+
+    def forget(self, name: str) -> None:
+        with self._lock:
+            self._segments.pop(name, None)
+
+    def names(self) -> set[str]:
+        with self._lock:
+            return set(self._segments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def unlink_all(self) -> int:
+        """Unlink every still-registered segment; returns how many."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        count = 0
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                # An interrupted operation can leave exported views alive;
+                # the mapping dies with them, unlinking is unaffected.
+                pass
+            try:
+                shm.unlink()
+                count += 1
+            except (FileNotFoundError, OSError):  # pragma: no cover - races
+                pass
+        return count
+
+
+#: The registry every creating constructor below reports to.
+SEGMENTS = SegmentRegistry()
+atexit.register(SEGMENTS.unlink_all)
+
+
+def active_segments() -> set[str]:
+    """Names of segments created by this process and not yet unlinked."""
+    return SEGMENTS.names()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The stdlib registers *attachments* with the resource tracker too —
+    only 3.13's ``track=False`` skips it — and a forked worker that
+    registers spawns (or corrupts the bookkeeping of) a tracker of its
+    own, which then warns about "leaked" segments the master unlinked
+    long ago.  On older Pythons the registration is suppressed for the
+    duration of the attach instead; workers are single-threaded (one
+    request loop), so the temporary patch cannot race.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedColumns:
+    """A fixed-arity columnar int64 block in one shared-memory segment.
+
+    Layout: an int64 header ``[arity, rows]`` followed by ``arity`` dense
+    columns of ``rows`` values each.  :meth:`columns` exposes the live
+    pages as ``memoryview.cast('q')`` slices — the zero-copy attach path —
+    and :meth:`rows` iterates row tuples by zipping those views.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._view = memoryview(shm.buf).cast("q")
+        self.arity = int(self._view[0])
+        self.row_count = int(self._view[1])
+
+    @classmethod
+    def create(cls, arity: int, rows) -> "SharedColumns":
+        """Write ``rows`` (iterable of int sequences) into a new segment."""
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        count = len(rows)
+        size = _INT64 * (2 + arity * count)
+        shm = shared_memory.SharedMemory(create=True, size=max(size, _INT64 * 2))
+        SEGMENTS.register(shm)
+        view = memoryview(shm.buf).cast("q")
+        view[0] = arity
+        view[1] = count
+        base = 2
+        for position in range(arity):
+            column = array("q", (row[position] for row in rows))
+            view[base : base + count] = memoryview(column)
+            base += count
+        return cls(shm, owner=True)
+
+    @classmethod
+    def from_columnar(cls, store) -> "SharedColumns":
+        """One segment holding a :class:`ColumnarRelation`'s columns."""
+        count = len(store)
+        arity = store.arity
+        size = _INT64 * (2 + arity * count)
+        shm = shared_memory.SharedMemory(create=True, size=max(size, _INT64 * 2))
+        SEGMENTS.register(shm)
+        view = memoryview(shm.buf).cast("q")
+        view[0] = arity
+        view[1] = count
+        base = 2
+        for position in range(arity):
+            view[base : base + count] = memoryview(store.columns[position])
+            base += count
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedColumns":
+        """Map an existing segment read-only-by-convention (zero copy)."""
+        return cls(_attach(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def columns(self) -> list[memoryview]:
+        """The live int64 column views (no copies)."""
+        count = self.row_count
+        base = 2
+        out = []
+        for _ in range(self.arity):
+            out.append(self._view[base : base + count])
+            base += count
+        return out
+
+    def rows(self):
+        """Iterate the rows as tuples (one zip over the column views)."""
+        if self.arity == 0:
+            return iter([()] * self.row_count)
+        return zip(*self.columns())
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers: always; never unlink)."""
+        try:
+            self._view.release()
+        except BufferError:  # pragma: no cover - exported sub-views alive
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported sub-views alive;
+            pass  # the mapping dies with them, unlink is unaffected
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only); idempotent."""
+        if not self._owner:
+            return
+        SEGMENTS.forget(self._shm.name)
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class SharedFactBlock:
+    """A flat int64 record stream of facts for the boundary exchange.
+
+    Each record is ``[relation_id, arity, arg_1 .. arg_k]``.  Constants are
+    encoded as their (pre-fork) :data:`repro.data.interning.TERMS` ids —
+    valid in every forked worker — and labelled nulls as ``-(label + 1)``
+    (labels are positive, ids non-negative, so the ranges cannot collide
+    and null identity survives the trip without touching any dictionary).
+    Relation names travel once through the pool's shared name table.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._view = memoryview(shm.buf).cast("q")
+        self._owner = owner
+        self.record_count = int(self._view[0])
+
+    @classmethod
+    def create(cls, records: list[tuple[int, tuple[int, ...]]]) -> "SharedFactBlock":
+        """Write ``(relation_id, encoded args)`` records into a new segment."""
+        length = 1 + sum(2 + len(args) for _, args in records)
+        shm = shared_memory.SharedMemory(create=True, size=_INT64 * max(length, 1))
+        SEGMENTS.register(shm)
+        flat = array("q", [len(records)])
+        for relation_id, args in records:
+            flat.append(relation_id)
+            flat.append(len(args))
+            flat.extend(args)
+        view = memoryview(shm.buf).cast("q")
+        view[: len(flat)] = memoryview(flat)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedFactBlock":
+        return cls(_attach(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def records(self):
+        """Yield the ``(relation_id, raw encoded args)`` records."""
+        view = self._view
+        cursor = 1
+        for _ in range(self.record_count):
+            relation_id = view[cursor]
+            arity = view[cursor + 1]
+            cursor += 2
+            yield relation_id, tuple(view[cursor : cursor + arity])
+            cursor += arity
+
+    def close(self) -> None:
+        try:
+            self._view.release()
+        except BufferError:  # pragma: no cover - exported sub-views alive
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported sub-views alive;
+            pass  # the mapping dies with them, unlink is unaffected
+
+    def unlink(self) -> None:
+        if not self._owner:
+            return
+        SEGMENTS.forget(self._shm.name)
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def encode_null(null: Null) -> int:
+    """Encode a labelled null into the negative id range."""
+    return -(null.label + 1)
+
+
+def decode_value(value: int, decode_term):
+    """Decode one encoded arg: negative → ``Null``, else a term-table id."""
+    if value < 0:
+        return Null(-value - 1)
+    return decode_term(value)

@@ -33,7 +33,17 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
     right_keys = right.project(shared)
     positions = left.positions(shared)
     if left.interned:
-        surviving = left.columns().filter_by_keys(positions, right_keys)
+        store = left.columns()
+        # Large interned filters may run sharded across the ambient worker
+        # pool (reduce phase under ``--workers``); ``None`` means "no pool,
+        # too small, or the parallel path degraded" — run the kernel here.
+        # Row order differs between the two paths; AtomRelation tuples are
+        # a set, so that is invisible.
+        from repro.parallel.runtime import maybe_parallel_filter
+
+        surviving = maybe_parallel_filter(store, positions, right_keys)
+        if surviving is None:
+            surviving = store.filter_by_keys(positions, right_keys)
     else:
         surviving = [
             row for row in left.tuples if tuple(row[p] for p in positions) in right_keys

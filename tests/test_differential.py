@@ -12,7 +12,10 @@ reference implementation:
 * the interned (dictionary-encoded, columnar) store and the
   ``REPRO_NO_INTERN`` term-object store,
 * per-plan code generation (compiled walks/kernels/matchers) and the
-  ``REPRO_NO_CODEGEN`` interpreted paths.
+  ``REPRO_NO_CODEGEN`` interpreted paths,
+* the sharded multi-process backend (``workers >= 2``): parallel chase,
+  worker-pool batch enumeration, and pool re-forks across mutations — the
+  cross-process differential harness of ``docs/parallel.md``.
 
 The tier-1 ``fast`` profile runs 60 examples per property (≥200 cases per
 run across the four properties); the ``slow``-marked sweep runs a larger
@@ -32,6 +35,8 @@ from repro.cq.parser import parse_query
 from repro.config import use_codegen
 from repro.data import Database, Fact, use_interning
 from repro.engine import QueryEngine
+from repro.parallel import active_segments
+from repro.parallel import supported as parallel_supported
 from repro.tgds.eli import is_eli_tgd
 from repro.tgds.ontology import Ontology
 from repro.tgds.parser import parse_ontology
@@ -214,6 +219,31 @@ def test_codegen_on_and_off_agree(templates, query_text, facts):
     assert compiled_engine == expected
 
 
+_parallel_supported = parallel_supported()
+
+
+@pytest.mark.skipif(not _parallel_supported, reason="fork start method unavailable")
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(templates=ontology_strategy, query_text=query_strategy, facts=facts_strategy)
+def test_parallel_workers_match_naive(templates, query_text, facts):
+    """The sharded 2-process backend (parallel chase + worker-side batch
+    enumeration) == naive baseline, with zero leaked shm segments."""
+    omq = _build_omq(templates, query_text)
+    database = Database(facts)
+    expected = naive_certain_answers(omq, database)
+    engine = QueryEngine(omq.ontology, database, workers=2, incremental=False)
+    try:
+        assert engine.execute(omq.query) == expected
+        assert engine.execute_batch([omq.query, omq.query]) == [expected, expected]
+    finally:
+        engine.shutdown()
+    assert active_segments() == set()
+
+
 @pytest.mark.slow
 @settings(
     max_examples=400,
@@ -241,3 +271,34 @@ def test_differential_sweep_slow(templates, query_text, facts, extra):
                 database.add_facts(extra)
                 mutated_expected = naive_certain_answers(omq, database)
                 assert engine.execute(omq.query) == mutated_expected
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not _parallel_supported, reason="fork start method unavailable")
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+@given(
+    templates=ontology_strategy,
+    query_text=query_strategy,
+    facts=facts_strategy,
+    workers=st.sampled_from((2, 4)),
+    extra=st.lists(fact_strategy, min_size=1, max_size=3),
+)
+def test_parallel_sweep_slow(templates, query_text, facts, workers, extra):
+    """Nightly cross-process sweep: 2- and 4-worker execution across a
+    mutation (pool re-fork) == naive, zero leaked segments."""
+    omq = _build_omq(templates, query_text)
+    database = Database(facts)
+    engine = QueryEngine(omq.ontology, database, workers=workers, incremental=False)
+    try:
+        assert engine.execute(omq.query) == naive_certain_answers(omq, database)
+        database.add_facts(extra)
+        mutated_expected = naive_certain_answers(omq, database)
+        assert engine.execute(omq.query) == mutated_expected
+        assert engine.execute_batch([omq.query]) == [mutated_expected]
+    finally:
+        engine.shutdown()
+    assert active_segments() == set()
