@@ -533,7 +533,9 @@ class QueryEngine:
         Plans and materialized states are built sequentially under the
         engine lock (they mutate shared structures); the enumeration phase
         — read-only by construction — then fans out over a thread pool.
-        ``max_workers=0`` or ``1`` forces the sequential worker loop.
+        ``max_workers=0`` or ``1`` forces the sequential worker loop (and
+        skips the process fan-out below — an explicit request for a
+        single worker wins over the engine's ``workers`` option).
 
         When the engine's ``workers`` option resolves above 1 (and the
         platform supports ``fork``), the batch instead fans out across the
@@ -547,9 +549,10 @@ class QueryEngine:
             plans = [self.prepare(query) for query in queries]
             if not plans:
                 return []
-            process_results = self._execute_batch_processes(plans, resolved)
-            if process_results is not None:
-                return process_results
+            if max_workers is None or max_workers > 1:
+                process_results = self._execute_batch_processes(plans, resolved)
+                if process_results is not None:
+                    return process_results
             states = [self._materialized_state(plan, resolved) for plan in plans]
             if max_workers is None:
                 max_workers = min(len(states), os.cpu_count() or 1, 8)

@@ -308,7 +308,9 @@ class Materialization:
                 self._worker_count(),
                 WorkerBootstrap(self.ontology, self.chase.instance, self.codegen),
             )
-        except ParallelExecutionError:
+        except (ParallelExecutionError, OSError):
+            # OSError: the fork itself failed (process/fd/memory limits) —
+            # degrade to the sequential path like any other pool failure.
             self.parallel_fallbacks += 1
             return None
         return self._pool
@@ -348,7 +350,9 @@ class Materialization:
                             max_facts=5_000_000,
                             codegen=self.codegen,
                         )
-                    except ParallelExecutionError:
+                    except (ParallelExecutionError, OSError):
+                        # OSError covers a failed fork under resource
+                        # pressure; the sequential chase below still runs.
                         self.parallel_fallbacks += 1
                     else:
                         self.chase = QueryDirectedChase(

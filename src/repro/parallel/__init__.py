@@ -22,6 +22,7 @@ to the sequential paths when ``fork`` is unavailable, a worker crashes, or
 
 from repro.parallel.chase import ParallelChaseRun, parallel_chase
 from repro.parallel.pool import (
+    DEFAULT_TASK_TIMEOUT,
     ParallelExecutionError,
     WorkerBootstrap,
     WorkerCrashed,
@@ -43,6 +44,7 @@ from repro.parallel.shm import (
 )
 
 __all__ = [
+    "DEFAULT_TASK_TIMEOUT",
     "PARALLEL_STATS",
     "ParallelChaseRun",
     "ParallelExecutionError",

@@ -13,9 +13,11 @@ sequential paths.
 Workers run a simple request/response loop over a pipe.  The master's
 receive path polls the pipe *and* the worker's liveness, so a worker that
 is killed mid-task surfaces as :class:`WorkerCrashed` (never a hang), at
-which point the pool tears itself down; segment cleanup stays with the
-operation that created the segments (``finally`` + the ``atexit`` registry
-in :mod:`repro.parallel.shm`).
+which point the pool tears itself down; a worker that is alive but wedged
+is bounded by the per-operation deadline (:data:`DEFAULT_TASK_TIMEOUT`,
+tunable via ``REPRO_WORKER_TIMEOUT``) and surfaces the same way.  Segment
+cleanup stays with the operation that created the segments (``finally`` +
+the ``atexit`` registry in :mod:`repro.parallel.shm`).
 
 Fork safety: the worker's first action is to re-initialize the locks of
 the process-wide structures it uses (another master thread may have held
@@ -40,6 +42,7 @@ from repro.parallel.shm import SharedColumns, SharedFactBlock, decode_value
 from repro.tgds.ontology import Ontology
 
 __all__ = [
+    "DEFAULT_TASK_TIMEOUT",
     "ParallelExecutionError",
     "WorkerBootstrap",
     "WorkerCrashed",
@@ -49,6 +52,25 @@ __all__ = [
 
 #: Upper bound on cached per-query enumerators inside one worker.
 _WORKER_ENUMERATOR_CACHE = 32
+
+
+def _env_timeout(name: str, default: float) -> float | None:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
+#: Default deadline (seconds) for one broadcast/scatter operation.  A worker
+#: that is alive but wedged past this surfaces as :class:`WorkerCrashed`
+#: (closing the pool) instead of blocking the master forever under the
+#: engine lock.  ``REPRO_WORKER_TIMEOUT`` overrides; ``<= 0`` disables the
+#: deadline.  Passing ``timeout=None`` explicitly also means "no deadline".
+DEFAULT_TASK_TIMEOUT: float | None = _env_timeout("REPRO_WORKER_TIMEOUT", 300.0)
 
 
 class ParallelExecutionError(RuntimeError):
@@ -338,18 +360,25 @@ class WorkerPool:
         self._connections = []
         self._processes = []
         self._broken = False
-        for index in range(self.worker_count):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, bootstrap, index, self.worker_count),
-                daemon=True,
-                name=f"repro-worker-{index}",
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
+        try:
+            for index in range(self.worker_count):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, bootstrap, index, self.worker_count),
+                    daemon=True,
+                    name=f"repro-worker-{index}",
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+        except OSError:
+            # Pipe()/start() can fail under fd/process/memory pressure
+            # mid-loop; reap the workers already forked before re-raising
+            # (the finalizer is not registered yet at this point).
+            _shutdown(list(self._processes), list(self._connections))
+            raise
         self._finalizer = weakref.finalize(
             self, _shutdown, list(self._processes), list(self._connections)
         )
@@ -410,16 +439,45 @@ class WorkerPool:
             raise self._fail(f"worker {index} pipe is broken")
         PARALLEL_STATS.bump("tasks")
 
-    def broadcast(self, task: str, payload, timeout: float | None = None) -> list:
+    def _collect(self, timeout: float | None) -> list:
+        """Receive one reply per worker, in worker order.
+
+        A task-error reply from one worker must not desynchronize the
+        pipes: the remaining workers' replies are drained before the
+        error propagates, so a caller that catches it and reuses the
+        (still healthy) pool never reads a stale reply as the next
+        operation's result.  A crash closes the whole pool via
+        :meth:`_fail`, so draining stops there.
+        """
+        results: list = []
+        error: ParallelExecutionError | None = None
+        for index in range(self.worker_count):
+            try:
+                results.append(self._receive(index, timeout))
+            except WorkerCrashed:
+                raise
+            except ParallelExecutionError as exc:
+                if error is None:
+                    error = exc
+                results.append(None)
+        if error is not None:
+            raise error
+        return results
+
+    def broadcast(
+        self, task: str, payload, timeout: float | None = DEFAULT_TASK_TIMEOUT
+    ) -> list:
         """Send one payload to every worker; collect all replies in order."""
         for index in range(self.worker_count):
             self._send(index, task, payload)
-        return [self._receive(index, timeout) for index in range(self.worker_count)]
+        return self._collect(timeout)
 
-    def scatter(self, task: str, payloads: list, timeout: float | None = None) -> list:
+    def scatter(
+        self, task: str, payloads: list, timeout: float | None = DEFAULT_TASK_TIMEOUT
+    ) -> list:
         """Send ``payloads[i]`` to worker ``i``; collect replies in order."""
         if len(payloads) != self.worker_count:
             raise ValueError("scatter needs exactly one payload per worker")
         for index, payload in enumerate(payloads):
             self._send(index, task, payload)
-        return [self._receive(index, timeout) for index in range(self.worker_count)]
+        return self._collect(timeout)

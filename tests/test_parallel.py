@@ -34,6 +34,7 @@ from repro.data.facts import Fact
 from repro.data.instance import Database, Instance
 from repro.engine import QueryEngine
 from repro.parallel import (
+    DEFAULT_TASK_TIMEOUT,
     PARALLEL_STATS,
     SEGMENTS,
     ParallelExecutionError,
@@ -234,6 +235,36 @@ class TestWorkerPool:
         with pytest.raises(ParallelExecutionError, match="no-such-task"):
             pool.broadcast("no-such-task", {}, timeout=30.0)
 
+    def test_task_error_drains_replies_pool_stays_synchronized(self, pool):
+        """The stale-reply regression: one worker's task error must not
+        leave the other workers' replies stuck in their pipes, or the next
+        operation would consume them as its own results."""
+        # Worker 0 fails (non-numeric sleep payload), worker 1 succeeds.
+        with pytest.raises(ParallelExecutionError, match="ValueError"):
+            pool.scatter("sleep", ["not-a-number", 0.0], timeout=30.0)
+        assert pool.alive  # a task error is not a crash
+        # Replies of the next operations align with their own payloads.
+        assert pool.scatter("ping", [{"value": 1}, {"value": 2}], timeout=30.0) == [
+            {"value": 1},
+            {"value": 2},
+        ]
+        with pytest.raises(ParallelExecutionError, match="no-such-task"):
+            pool.broadcast("no-such-task", {}, timeout=30.0)
+        assert pool.broadcast("ping", {"value": 7}, timeout=30.0) == [
+            {"value": 7},
+            {"value": 7},
+        ]
+
+    def test_wedged_worker_hits_deadline_never_hangs(self, pool):
+        """A worker that is alive but stalled must surface as a crash once
+        the per-operation deadline passes, not block the master forever."""
+        assert DEFAULT_TASK_TIMEOUT is not None and DEFAULT_TASK_TIMEOUT > 0
+        started = time.monotonic()
+        with pytest.raises(WorkerCrashed, match="timed out"):
+            pool.broadcast("sleep", 60.0, timeout=0.5)
+        assert time.monotonic() - started < 30.0
+        assert not pool.alive  # deadline breach breaks the pool → re-fork
+
     def test_sigkill_raises_worker_crashed_and_never_hangs(self, pool):
         victim = pool.processes[0]
         os.kill(victim.pid, signal.SIGKILL)
@@ -246,6 +277,44 @@ class TestWorkerPool:
         # A broken pool refuses further work instead of deadlocking.
         with pytest.raises(ParallelExecutionError):
             pool.broadcast("ping", {"value": 1}, timeout=5.0)
+
+    def test_env_timeout_parsing(self, monkeypatch):
+        from repro.parallel.pool import _env_timeout
+
+        monkeypatch.delenv("X_REPRO_TIMEOUT", raising=False)
+        assert _env_timeout("X_REPRO_TIMEOUT", 300.0) == 300.0
+        monkeypatch.setenv("X_REPRO_TIMEOUT", "12.5")
+        assert _env_timeout("X_REPRO_TIMEOUT", 300.0) == 12.5
+        monkeypatch.setenv("X_REPRO_TIMEOUT", "0")  # <= 0 disables
+        assert _env_timeout("X_REPRO_TIMEOUT", 300.0) is None
+        monkeypatch.setenv("X_REPRO_TIMEOUT", "garbage")
+        assert _env_timeout("X_REPRO_TIMEOUT", 300.0) == 300.0
+
+    def test_partial_fork_failure_reaps_started_workers(self):
+        """If the Nth fork fails with OSError, the workers already started
+        must be shut down before the error propagates (the finalizer is
+        not registered yet at that point)."""
+        import multiprocessing
+
+        ontology = parse_ontology("edge(x, y) -> reach(x, y)", name="pool-test")
+        instance = Instance(Database([Fact("edge", ("a", "b"))]))
+        fork_process = multiprocessing.get_context("fork").Process
+        original_start = fork_process.start
+        started: list = []
+
+        def flaky_start(process):
+            if started:
+                raise OSError("Resource temporarily unavailable")
+            started.append(process)
+            return original_start(process)
+
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(fork_process, "start", flaky_start)
+            with pytest.raises(OSError):
+                WorkerPool(2, WorkerBootstrap(ontology, instance, codegen=False))
+        (survivor,) = started
+        survivor.join(timeout=10.0)
+        assert not survivor.is_alive()
 
     def test_close_terminates_workers(self, pool):
         processes = list(pool.processes)
@@ -380,6 +449,53 @@ class TestEngineIntegration:
             stats = engine.snapshot()
             assert stats.parallel_chases == 1
             assert stats.parallel_tasks > 0
+        finally:
+            engine.shutdown()
+
+    def test_explicit_single_worker_skips_process_path(self):
+        """``execute_batch(..., max_workers=1)`` is a contract for the
+        sequential worker loop even when the engine's ``workers`` option
+        would fan the batch out across processes."""
+        database = Database(generate_university_database(40, seed=7))
+        omq = university_omq()
+        engine = QueryEngine(university_ontology(), database, workers=2, incremental=False)
+        reference = QueryEngine(university_ontology(), database, workers=1)
+        try:
+            expected = reference.execute(omq)
+            calls: list = []
+
+            def record(plans, resolved):
+                calls.append(plans)
+                return None
+
+            with pytest.MonkeyPatch.context() as patcher:
+                patcher.setattr(engine, "_execute_batch_processes", record)
+                assert engine.execute_batch([omq, omq], max_workers=1) == [expected] * 2
+                assert calls == []  # never consulted
+                assert engine.execute_batch([omq, omq], max_workers=0) == [expected] * 2
+                assert calls == []
+                assert engine.execute_batch([omq, omq]) == [expected] * 2
+                assert len(calls) == 1  # default still fans out
+        finally:
+            engine.shutdown()
+
+    def test_fork_oserror_falls_back_to_sequential(self):
+        """A fork that fails with OSError (process/fd/memory exhaustion)
+        degrades to the sequential path instead of crashing the query."""
+        database = Database(generate_university_database(40, seed=7))
+        omq = university_omq()
+        expected = QueryEngine(university_ontology(), database, workers=1).execute(omq)
+
+        def exhausted(self, *args, **kwargs):
+            raise OSError("Resource temporarily unavailable")
+
+        engine = QueryEngine(university_ontology(), database, workers=2, incremental=False)
+        try:
+            with pytest.MonkeyPatch.context() as patcher:
+                patcher.setattr(WorkerPool, "__init__", exhausted)
+                assert engine.execute(omq) == expected
+                assert engine.execute_batch([omq, omq]) == [expected] * 2
+            assert engine.snapshot().parallel_chases == 0
         finally:
             engine.shutdown()
 
