@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""A/B gate: the cost-based plan choice vs. the default decomposition.
+
+Runs the E5/E11 workloads (office and university) through a warm
+``QueryEngine`` twice — once with the planner enabled, once on the default
+decomposition (``REPRO_NO_PLANNER`` equivalent) — on the same database, and
+reports the throughput ratio of the cached execution path (the enumeration
+phase of whichever plan each mode chose; preprocessing is excluded by
+warming first).  Answer sets must be byte-identical between the modes.
+
+Candidate 0 of every plan choice is the default decomposition and cost ties
+break towards it, so the planner can never *pick* a regressing plan — the
+gate asserts the end-to-end consequence: planner-on throughput stays within
+noise of planner-off (``--min-speedup``, default 0.95×) or better.
+
+CI calls this with ``--gate`` after the smoke sweep::
+
+    python benchmarks/ab_planner.py --gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import use_planner
+from repro.engine import QueryEngine
+from repro.workloads import (
+    generate_office_database,
+    generate_university_database,
+    office_omq,
+    university_omq,
+)
+
+WORKLOADS = (
+    ("e5_office", office_omq, generate_office_database),
+    ("e11_university", university_omq, generate_university_database),
+)
+
+
+def _batch_seconds(engine, query, loops: int) -> float:
+    """Wall time of one batch of ``loops`` cached executions."""
+    start = time.perf_counter()
+    for _ in range(loops):
+        engine.execute(query)
+    return time.perf_counter() - start
+
+
+def ab_workload(
+    label: str, omq, generator, size: int, loops: int, best_of: int
+) -> dict:
+    database = generator(size, seed=size)
+    engines: dict[bool, QueryEngine] = {}
+    answers: dict[bool, set] = {}
+    choices: dict[bool, int] = {}
+    for mode in (True, False):
+        with use_planner(mode):
+            engines[mode] = QueryEngine(omq.ontology, database)
+            answers[mode] = engines[mode].execute(omq.query)  # warm + witness
+            choices[mode] = engines[mode].snapshot().planner_choices
+    # Interleave the measured batches: both modes see the same thermal /
+    # contention conditions, so the ratio of the best batches compares
+    # kernels rather than CPU frequency drift.
+    timings: dict[bool, float] = {True: float("inf"), False: float("inf")}
+    for _ in range(best_of):
+        for mode in (True, False):
+            timings[mode] = min(
+                timings[mode], _batch_seconds(engines[mode], omq.query, loops)
+            )
+    if answers[True] != answers[False]:
+        raise AssertionError(
+            f"{label}: planner-on and planner-off answer sets differ "
+            f"({len(answers[True])} vs {len(answers[False])} answers)"
+        )
+    if choices[True] < 1 or choices[False] != 0:
+        raise AssertionError(
+            f"{label}: planner engagement wrong (on={choices[True]}, "
+            f"off={choices[False]})"
+        )
+    return {
+        "workload": label,
+        "size": size,
+        "answers": len(answers[True]),
+        "planner_on_seconds": round(timings[True], 6),
+        "planner_off_seconds": round(timings[False], 6),
+        "speedup": round(timings[False] / timings[True], 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 unless every workload reaches --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.9,
+        help=(
+            "required planner-on vs planner-off throughput ratio.  The two "
+            "modes run the same plan whenever the default wins, so the true "
+            "ratio is ~1.0; the default 0.9 tolerates shared-runner timing "
+            "noise while still failing on any genuinely regressing choice"
+        ),
+    )
+    parser.add_argument(
+        "--size", type=int, default=1600, help="database scale factor"
+    )
+    parser.add_argument(
+        "--loops",
+        type=int,
+        default=100,
+        help=(
+            "executions per measured batch (cached executions are fast: "
+            "enough loops keep each batch far above timer noise)"
+        ),
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=5, help="measured batches per mode"
+    )
+    args = parser.parse_args(argv)
+
+    reports = [
+        ab_workload(label, omq_factory(), generator, args.size, args.loops, args.best_of)
+        for label, omq_factory, generator in WORKLOADS
+    ]
+    json.dump({"reports": reports, "min_speedup": args.min_speedup}, sys.stdout)
+    sys.stdout.write("\n")
+
+    failures = [
+        report
+        for report in reports
+        if args.gate and report["speedup"] < args.min_speedup
+    ]
+    for report in failures:
+        print(
+            f"FAIL {report['workload']}: planner throughput ratio "
+            f"{report['speedup']}x < required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

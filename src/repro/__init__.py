@@ -11,9 +11,11 @@ from repro.config import (
     ExecutionOptions,
     set_codegen,
     set_interning,
+    set_planner,
     set_tracing,
     use_codegen,
     use_interning,
+    use_planner,
     use_tracing,
 )
 from repro.data import Database, Fact, Instance, Schema
@@ -63,9 +65,11 @@ __all__ = [
     "query_directed_chase",
     "set_codegen",
     "set_interning",
+    "set_planner",
     "set_tracing",
     "use_codegen",
     "use_interning",
+    "use_planner",
     "use_tracing",
 ]
 

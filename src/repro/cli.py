@@ -55,7 +55,7 @@ import time
 from pathlib import Path
 from typing import Sequence
 
-from repro.config import ExecutionOptions, use_codegen, use_interning
+from repro.config import ExecutionOptions, use_codegen, use_interning, use_planner
 from repro.data.facts import Fact
 from repro.data.instance import Database
 from repro.cq.atoms import Variable
@@ -193,6 +193,8 @@ def _run(args: argparse.Namespace) -> int:
             stack.enter_context(use_interning(False))
         if args.no_codegen:
             stack.enter_context(use_codegen(False))
+        if args.no_planner:
+            stack.enter_context(use_planner(False))
         return _run_command(args)
 
 
@@ -211,6 +213,7 @@ def _run_command(args: argparse.Namespace) -> int:
         options=ExecutionOptions(
             interning=False if args.no_intern else None,
             codegen=False if args.no_codegen else None,
+            planner=False if args.no_planner else None,
             incremental=not args.no_incremental,
             strict=not args.no_strict,
             tracing=True if args.trace else None,
@@ -452,6 +455,7 @@ def _serve(args: argparse.Namespace) -> int:
         strict=not args.no_strict,
         incremental=not args.no_incremental,
         codegen=False if args.no_codegen else None,
+        planner=False if args.no_planner else None,
         tracing=True if args.trace else None,
         slow_query_ms=args.slow_query_ms,
         workers=args.workers,
@@ -626,6 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--no-planner",
+        action="store_true",
+        help=(
+            "disable the cost-based plan choice and always run the default "
+            "decomposition, as with REPRO_NO_PLANNER=1 (A/B escape hatch)"
+        ),
+    )
+    run.add_argument(
         "--trace",
         action="store_true",
         help=(
@@ -777,6 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-codegen",
         action="store_true",
         help="serve over the interpreted slot-plan/kernel paths (no codegen)",
+    )
+    serve.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="serve without the cost-based plan choice (always the default plan)",
     )
     serve.add_argument(
         "--trace",

@@ -32,6 +32,7 @@ The historical entry points ``repro.data.interning.set_interning`` /
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from contextlib import contextmanager
@@ -43,14 +44,17 @@ __all__ = [
     "codegen_enabled",
     "default_workers",
     "interning_enabled",
+    "planner_enabled",
     "resolve_option",
     "set_codegen",
     "set_interning",
+    "set_planner",
     "set_tracing",
     "set_workers",
     "tracing_enabled",
     "use_codegen",
     "use_interning",
+    "use_planner",
     "use_tracing",
     "use_workers",
 ]
@@ -69,6 +73,7 @@ def _env_disabled(variable: str) -> bool:
 _STATE_LOCK = threading.Lock()
 _INTERNING = not _env_disabled("REPRO_NO_INTERN")
 _CODEGEN = not _env_disabled("REPRO_NO_CODEGEN")
+_PLANNER = not _env_disabled("REPRO_NO_PLANNER")
 # Tracing has the opposite polarity: it is *off* unless asked for, because
 # it is diagnostic machinery, not an execution strategy.
 _TRACING = _env_disabled("REPRO_TRACE")
@@ -151,6 +156,45 @@ def use_codegen(enabled: bool) -> Iterator[None]:
         yield
     finally:
         set_codegen(previous)
+
+
+def planner_enabled() -> bool:
+    """Whether the cost-based plan choice is on (default on).
+
+    With the planner on, materializations pick the cheapest candidate
+    free-connex decomposition from the columnar statistics of the chased
+    instance (and auto-tune the incremental fallback threshold); with it
+    off they run the first valid plan with the configured threshold —
+    the pre-planner behaviour, kept as the ``REPRO_NO_PLANNER`` /
+    ``--no-planner`` A/B escape hatch.  Answers are byte-identical either
+    way (plan choice only moves preprocessing constants).
+    """
+    return _PLANNER
+
+
+def set_planner(enabled: bool) -> bool:
+    """Flip the process-wide planner default; returns the previous setting.
+
+    Resolved at each materialization's plan decision, so the flip also
+    affects engines already built without an explicit ``planner`` setting
+    (their next state build uses the new default; cached states keep the
+    plan they were built with).
+    """
+    global _PLANNER
+    with _STATE_LOCK:
+        previous = _PLANNER
+        _PLANNER = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_planner(enabled: bool) -> Iterator[None]:
+    """Context manager scoping :func:`set_planner` (A/B test helper)."""
+    previous = set_planner(enabled)
+    try:
+        yield
+    finally:
+        set_planner(previous)
 
 
 def tracing_enabled() -> bool:
@@ -263,6 +307,17 @@ class ExecutionOptions:
       sequential paths and ``None`` follows the ``REPRO_WORKERS`` process
       default.  Enumeration always streams from one merged cursor in the
       calling process, so the constant-delay contract is unchanged.
+    * ``planner`` — cost-based plan choice: pick the cheapest candidate
+      join tree / free-connex decomposition from columnar statistics,
+      choose semi-join kernels per edge and auto-tune the incremental
+      fallback threshold.  ``False`` runs the first valid plan (the
+      pre-planner behaviour); ``None`` follows the ``REPRO_NO_PLANNER``
+      process default.
+
+    Invalid values are rejected at construction: ``plan_cache_size`` must
+    be at least 1, ``workers`` at least 1 when given, and
+    ``incremental_fallback_ratio`` a finite number in ``[0, 1]`` (``0.0``
+    means "always rebuild on mutation").
     """
 
     interning: bool | None = None
@@ -273,6 +328,30 @@ class ExecutionOptions:
     strict: bool = True
     tracing: bool | None = None
     workers: int | None = None
+    planner: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.plan_cache_size, int) or self.plan_cache_size < 1:
+            raise ValueError(
+                f"plan_cache_size must be an integer >= 1, got {self.plan_cache_size!r}"
+            )
+        if self.workers is not None and (
+            not isinstance(self.workers, int) or self.workers < 1
+        ):
+            raise ValueError(
+                f"workers must be None or an integer >= 1, got {self.workers!r}"
+            )
+        ratio = self.incremental_fallback_ratio
+        if (
+            not isinstance(ratio, (int, float))
+            or isinstance(ratio, bool)
+            or not math.isfinite(ratio)
+            or not 0.0 <= ratio <= 1.0
+        ):
+            raise ValueError(
+                "incremental_fallback_ratio must be a finite number in [0, 1] "
+                f"(0.0 means always rebuild), got {ratio!r}"
+            )
 
     def resolved_interning(self) -> bool:
         """The interning flag with the process default filled in."""
@@ -289,6 +368,10 @@ class ExecutionOptions:
     def resolved_workers(self) -> int:
         """The worker count with the process default filled in (min 1)."""
         return default_workers() if self.workers is None else max(1, self.workers)
+
+    def resolved_planner(self) -> bool:
+        """The planner flag with the process default filled in."""
+        return planner_enabled() if self.planner is None else self.planner
 
     def replace(self, **changes) -> "ExecutionOptions":
         """A copy with ``changes`` applied (dataclass ``replace`` sugar)."""

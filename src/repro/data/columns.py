@@ -182,6 +182,25 @@ class ColumnarRelation:
         """A sorted copy of one key column (the input to sorted-run kernels)."""
         return array("q", sorted(self.columns[position]))
 
+    def filter_by_keys_sorted(self, position: int, keys: set[tuple]) -> list[tuple]:
+        """Sorted-merge semi-join kernel for a single key column.
+
+        Set-identical to ``filter_by_keys((position,), keys)``; preferable
+        when the key set dwarfs this relation — the sorted-run intersection
+        first prunes ``keys`` down to the values actually present in the
+        column, so the per-row membership test probes a set bounded by this
+        relation's distinct values instead of the full key set.  The
+        planner's per-edge kernel decision
+        (:func:`repro.planner.cost.choose_semijoin_kernel`) is what routes
+        semi-joins here.
+        """
+        if not keys:
+            return []
+        key_run = array("q", sorted(key for (key,) in keys))
+        present = set(merge_intersect(self.sorted_column(position), key_run))
+        column = self.columns[position]
+        return [row for value, row in zip(column, self) if value in present]
+
     def semijoin_sorted(
         self, position: int, other: "ColumnarRelation", other_position: int
     ) -> list[tuple]:

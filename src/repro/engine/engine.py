@@ -45,12 +45,22 @@ from repro.core.omq import OMQ
 from repro.engine.cache import LRUCache
 from repro.engine.codegen import CODEGEN_STATS
 from repro.engine.fingerprint import ontology_fingerprint, query_fingerprint
-from repro.engine.materialization import Materialization, QueryState
+from repro.engine.materialization import (
+    Materialization,
+    QueryState,
+    validate_fallback_ratio,
+)
 from repro.engine.plan import PreparedQuery, prepare_query
 from repro.engine.stats import EngineCounters
 from repro.tgds.ontology import Ontology
 
 QueryLike = "str | ConjunctiveQuery | OMQ | PreparedQuery"
+
+#: The single source of per-knob fallback values: the field defaults of
+#: :class:`ExecutionOptions` itself.  ``QueryEngine.__init__`` resolves
+#: against these instead of repeating literals, so the documented defaults
+#: cannot drift between the dataclass and the engine.
+_OPTION_DEFAULTS = ExecutionOptions()
 
 
 @dataclass(frozen=True)
@@ -79,6 +89,13 @@ class EngineStats:
     created, and ``worker_crashes`` the worker deaths that forced a
     sequential fallback (the process-wide readings of
     :data:`repro.parallel.PARALLEL_STATS`).
+
+    The ``planner_*`` counters cover the cost-based plan choice:
+    ``planner_choices`` counts state builds that went through it,
+    ``planner_candidates`` the candidate decompositions costed across
+    those choices, and ``planner_estimated_rows`` /
+    ``planner_actual_rows`` the predicted vs observed reduced block rows
+    — the running calibration of the cardinality model.
     """
 
     plans_cached: int
@@ -102,6 +119,10 @@ class EngineStats:
     boundary_facts: int = 0
     shard_segments: int = 0
     worker_crashes: int = 0
+    planner_choices: int = 0
+    planner_candidates: int = 0
+    planner_estimated_rows: int = 0
+    planner_actual_rows: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """The snapshot as a plain dict (the ``/metrics`` wire shape).
@@ -263,30 +284,44 @@ class QueryEngine:
         plan_cache: LRUCache[PreparedQuery] | None = None,
         tracing: bool | None = None,
         workers: int | None = None,
+        planner: bool | None = None,
     ) -> None:
         resolved = options if options is not None else ExecutionOptions()
         self.options = resolved
         self.ontology = ontology
         self.ontology_fingerprint = ontology_fingerprint(ontology)
-        self.strict = resolve_option(strict, resolved.strict, True)
-        self.incremental = resolve_option(incremental, resolved.incremental, True)
-        self.incremental_fallback_ratio = resolve_option(
-            incremental_fallback_ratio, resolved.incremental_fallback_ratio, 0.1
+        self.strict = resolve_option(strict, resolved.strict, _OPTION_DEFAULTS.strict)
+        self.incremental = resolve_option(
+            incremental, resolved.incremental, _OPTION_DEFAULTS.incremental
+        )
+        # Validated here too: an explicit kwarg bypasses the
+        # ``ExecutionOptions`` post-init check, and a NaN ratio must fail
+        # at construction, not at the first (lazy) materialization build.
+        self.incremental_fallback_ratio = validate_fallback_ratio(
+            resolve_option(
+                incremental_fallback_ratio,
+                resolved.incremental_fallback_ratio,
+                _OPTION_DEFAULTS.incremental_fallback_ratio,
+            )
         )
         # May stay None: materializations then consult the process default
         # (``REPRO_NO_CODEGEN`` / ``set_codegen``) at construction time.
-        self.codegen = resolve_option(codegen, resolved.codegen, None)
+        self.codegen = resolve_option(codegen, resolved.codegen, _OPTION_DEFAULTS.codegen)
         # Tri-state kept as-is: ``None`` means "join ambient traces, and
         # initiate one only if the REPRO_TRACE process default says so" —
         # resolved per execution, not frozen here, so a scoped
         # ``use_tracing`` applies to an already-built engine.
-        self.tracing = resolve_option(tracing, resolved.tracing, None)
+        self.tracing = resolve_option(tracing, resolved.tracing, _OPTION_DEFAULTS.tracing)
         # ``None`` follows the REPRO_WORKERS process default dynamically
         # (resolved at each pool decision); >1 enables the process-parallel
         # chase/reduce/batch paths of :mod:`repro.parallel`.
-        self.workers = resolve_option(workers, resolved.workers, None)
+        self.workers = resolve_option(workers, resolved.workers, _OPTION_DEFAULTS.workers)
+        # Same tri-state shape as codegen: ``None`` defers to the
+        # REPRO_NO_PLANNER / ``set_planner`` process default at each plan
+        # decision, so a scoped ``use_planner`` applies to a live engine.
+        self.planner = resolve_option(planner, resolved.planner, _OPTION_DEFAULTS.planner)
         plan_cache_size = resolve_option(
-            plan_cache_size, resolved.plan_cache_size, 64
+            plan_cache_size, resolved.plan_cache_size, _OPTION_DEFAULTS.plan_cache_size
         )
         self._default_database = database
         # ``plan_cache`` may be an externally owned cache shared by several
@@ -417,6 +452,7 @@ class QueryEngine:
                 codegen=self.codegen,
                 tracing=self.tracing,
                 workers=self.workers,
+                planner=self.planner,
             )
             self._materializations.put(id(database), materialization)
         return materialization
@@ -716,6 +752,14 @@ class QueryEngine:
                 boundary_facts=parallel.get("boundary_facts", 0),
                 shard_segments=parallel.get("segments", 0),
                 worker_crashes=parallel.get("worker_crashes", 0),
+                planner_choices=sum(m.planner_choices for m in materializations),
+                planner_candidates=sum(m.planner_candidates for m in materializations),
+                planner_estimated_rows=sum(
+                    m.planner_estimated_rows for m in materializations
+                ),
+                planner_actual_rows=sum(
+                    m.planner_actual_rows for m in materializations
+                ),
             )
 
     @property

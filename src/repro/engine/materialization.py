@@ -33,6 +33,8 @@ it.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterator
@@ -48,6 +50,7 @@ from repro.engine.plan import PreparedQuery
 from repro.incremental.provenance import ChaseMaintainer
 from repro.obs.trace import NULL_SPAN, current_trace, span, traced_answers
 from repro.parallel.runtime import sharded_semijoins
+from repro.planner.kernels import semijoin_planning
 from repro.tgds.ontology import Ontology
 
 
@@ -89,6 +92,26 @@ class QueryState:
         return set(self.enumerator.enumerate())
 
 
+def validate_fallback_ratio(ratio: float) -> float:
+    """Reject NaN/∞/negative fallback ratios with one clear error.
+
+    ``0.0`` is valid and means "always rebuild" — NaN must never reach the
+    budget comparison (every NaN comparison is False, which would silently
+    disable both the increment and the fallback accounting).
+    """
+    if (
+        not isinstance(ratio, (int, float))
+        or isinstance(ratio, bool)
+        or not math.isfinite(ratio)
+        or ratio < 0.0
+    ):
+        raise ValueError(
+            "fallback_ratio must be a finite number >= 0 "
+            f"(0.0 means always rebuild), got {ratio!r}"
+        )
+    return float(ratio)
+
+
 class Materialization:
     """Shared chase plus per-query reduced state for one database.
 
@@ -98,13 +121,32 @@ class Materialization:
 
     ``incremental`` enables in-place maintenance under database mutations;
     ``fallback_ratio`` is the delta-size threshold (as a fraction of the
-    database) above which a full rebuild is cheaper than maintenance.
+    database) above which a full rebuild is cheaper than maintenance —
+    ``0.0`` disables maintenance entirely (every mutation rebuilds), and
+    negative or non-finite ratios are rejected at construction.
     ``codegen`` selects generated inner loops for the chase and the
     enumerators built here (``None`` defers to the process default at each
     construction, so a scoped ``use_codegen`` still applies).  ``tracing``
     is the span tri-state forwarded to the enumerators; ``False``
     additionally skips the chase/revalidate spans recorded here.
+
+    ``planner`` is the cost-based plan-choice tri-state (``None`` follows
+    the ``REPRO_NO_PLANNER`` process default at each decision).  With it
+    on, :meth:`state_for` picks the cheapest candidate decomposition from
+    the columnar statistics of the chased instance, semi-joins choose
+    their kernel per edge, and the *effective* fallback threshold is
+    auto-tuned from the observed increment/fallback history
+    (:attr:`fallback_history`): an over-budget fallback raises it (capped
+    at 0.5 — rebuilds were being forced on deltas maintenance could
+    absorb), successful increments decay it back towards the configured
+    base.  With the planner off, the configured ratio applies unchanged.
     """
+
+    #: Auto-tune bounds: the effective ratio never exceeds the cap, growth
+    #: on an over-budget fallback and decay per successful increment.
+    TUNE_CAP = 0.5
+    TUNE_GROWTH = 1.5
+    TUNE_DECAY = 0.9
 
     def __init__(
         self,
@@ -116,13 +158,19 @@ class Materialization:
         codegen: bool | None = None,
         tracing: bool | None = None,
         workers: int | None = None,
+        planner: bool | None = None,
     ) -> None:
         self.ontology = ontology
         self.database = database
         self.incremental = incremental
-        self.fallback_ratio = fallback_ratio
+        self.fallback_ratio = validate_fallback_ratio(fallback_ratio)
         self.codegen = codegen
         self.tracing = tracing
+        self.planner = planner
+        # Recent revalidation outcomes (True = in-place increment, False =
+        # over-budget fallback) — the history the auto-tuner reads.
+        self.fallback_history: deque[bool] = deque(maxlen=32)
+        self._tuned_ratio: float | None = None
         # ``None`` follows the REPRO_WORKERS process default at each pool
         # decision; values > 1 enable the process-parallel chase (when
         # ``incremental`` is off — provenance capture is worker-side-blind)
@@ -144,6 +192,10 @@ class Materialization:
         self.invalidations = 0
         self.parallel_chases = 0
         self.parallel_fallbacks = 0
+        self.planner_choices = 0
+        self.planner_candidates = 0
+        self.planner_estimated_rows = 0
+        self.planner_actual_rows = 0
 
     @property
     def chase_rebuilds(self) -> int:
@@ -197,23 +249,93 @@ class Materialization:
             return NULL_SPAN
         return span(name, **attributes)
 
+    def _planner_enabled(self) -> bool:
+        """The resolved planner flag (``None`` → process default)."""
+        from repro.config import planner_enabled
+
+        return planner_enabled() if self.planner is None else bool(self.planner)
+
+    def effective_fallback_ratio(self) -> float:
+        """The fallback threshold actually applied to the next delta.
+
+        The configured :attr:`fallback_ratio` unless the planner has tuned
+        it from the increment/fallback history; ``0.0`` (always rebuild)
+        is never tuned away from — it is an explicit contract, not a
+        starting point.
+        """
+        if self.fallback_ratio <= 0.0 or not self._planner_enabled():
+            return self.fallback_ratio
+        if self._tuned_ratio is None:
+            return self.fallback_ratio
+        return self._tuned_ratio
+
+    def _record_over_budget(self) -> None:
+        """An over-budget fallback: grow the tuned threshold (planner only)."""
+        self.fallback_history.append(False)
+        if self.fallback_ratio <= 0.0 or not self._planner_enabled():
+            return
+        current = self._tuned_ratio if self._tuned_ratio is not None else self.fallback_ratio
+        self._tuned_ratio = min(self.TUNE_CAP, current * self.TUNE_GROWTH)
+
+    def _record_increment(self) -> None:
+        """A successful increment: decay the tuned threshold towards base."""
+        self.fallback_history.append(True)
+        if self._tuned_ratio is None:
+            return
+        decayed = self._tuned_ratio * self.TUNE_DECAY
+        self._tuned_ratio = None if decayed <= self.fallback_ratio else decayed
+
+    def _choose_plan(self, prepared: PreparedQuery, chase: QueryDirectedChase):
+        """Cost the candidate decompositions against the chased instance.
+
+        Returns the :class:`repro.planner.PlanChoice`, or ``None`` when the
+        plan has no candidates (outside the enumerable class).  Candidate 0
+        is always the unplanned default and ties break towards it, so the
+        choice can never be worse than not planning — by construction.
+        """
+        candidates = prepared.planner_candidates()
+        if not candidates:
+            return None
+        with self._span("plan_choice") as sp:
+            from repro.planner import choose_plan
+
+            choice = choose_plan(candidates, chase.instance)
+            if choice is None:
+                return None
+            self.planner_choices += 1
+            self.planner_candidates += len(choice.candidates)
+            self.planner_estimated_rows += choice.estimated_rows
+            if sp is not None:
+                sp.set("candidates", len(choice.candidates))
+                sp.set("chosen", choice.chosen.index)
+                sp.set("cost", round(choice.chosen.cost, 3))
+                sp.set("estimated_rows", choice.estimated_rows)
+        return choice
+
     def _apply_incremental(self) -> bool:
         """Apply the pending database delta in place; False means rebuild.
 
         Every False on a maintainable materialization counts as an
         ``incremental_fallbacks`` tick: the delta was unreconstructable
-        (log trimmed), too large for ``fallback_ratio``, or blew the chase
+        (log trimmed), too large for the effective fallback threshold
+        (``fallback_ratio == 0.0`` forces this branch unconditionally —
+        the documented "always rebuild" contract), or blew the chase
         budget mid-application.
         """
         if not self.incremental or self._maintainer is None or self.chase is None:
+            return False
+        ratio = self.effective_fallback_ratio()
+        if ratio <= 0.0:
+            self.incremental_fallbacks += 1
             return False
         delta = self.database.changes_since(self.chase.database_version)
         if delta is None:
             self.incremental_fallbacks += 1
             return False
-        budget = max(1, int(self.fallback_ratio * len(self.database)))
+        budget = max(1, int(ratio * len(self.database)))
         if len(delta) > budget:
             self.incremental_fallbacks += 1
+            self._record_over_budget()
             return False
         try:
             chase_delta = self._maintainer.apply_delta(delta)
@@ -223,6 +345,7 @@ class Materialization:
             return False
         self.chase.database_version = self.database.version
         self.chase_increments += 1
+        self._record_increment()
         touched = chase_delta.relations()
         if touched:
             for state in self._states.values():
@@ -397,34 +520,50 @@ class Materialization:
         if state is None:
             chase = self.chase_for(prepared)
             if prepared.supports_enumeration:
+                decomposition = prepared.decomposition
+                choice = None
+                if self._planner_enabled():
+                    choice = self._choose_plan(prepared, chase)
+                    if choice is not None:
+                        decomposition = choice.decomposition
                 # With a live pool, the component projections fan out across
                 # the workers and large semi-joins inside the reduce run
                 # sharded (the ambient-pool hook in the semijoin kernel).
                 pool = self.ensure_pool()
                 projections = None
-                if pool is not None and prepared.decomposition is not None:
+                if pool is not None and decomposition is not None:
                     from repro.parallel import parallel_projections
 
                     projections = parallel_projections(
-                        pool, prepared.decomposition, keep_nulls=False
+                        pool, decomposition, keep_nulls=False
                     )
                 reduce_scope = (
                     sharded_semijoins(pool) if pool is not None else nullcontext()
                 )
-                with reduce_scope:
+                kernel_scope = semijoin_planning() if choice is not None else nullcontext()
+                with reduce_scope, kernel_scope:
                     enumerator: CDLinEnumerator | MaterializedAnswers = CDLinEnumerator(
                         prepared.omq.query,
                         chase.instance,
                         keep_nulls=False,
-                        decomposition=prepared.decomposition,
+                        decomposition=decomposition,
                         codegen=self.codegen,
                         # The plan's own closure cache: compiled walks are
                         # shared across databases and dropped on plan-cache
-                        # eviction.
+                        # eviction (distinct chosen decompositions compile
+                        # distinct slot plans, so the cache keys stay apart
+                        # automatically).
                         codegen_cache=prepared.codegen,
                         tracing=self.tracing,
                         projections=projections,
                     )
+                if choice is not None:
+                    # Close the loop: the actual reduced block rows are the
+                    # estimate's ground truth, recorded for EngineStats and
+                    # ``repro explain``.
+                    choice.actual_rows = enumerator.reduced.size()
+                    self.planner_actual_rows += choice.actual_rows
+                    prepared.last_plan_choice = choice
             else:
                 with self._span("reduce", materialized=True):
                     enumerator = MaterializedAnswers(

@@ -1,0 +1,157 @@
+"""Candidate plans and the cost-based choice.
+
+``plan_candidates`` enumerates structurally distinct free-connex
+decompositions of a (deduplicated) query — the default one first, then the
+Bernstein–Goodman maximum-weight ties of ``q⁺``
+(:func:`repro.yannakakis.decomposition.enumerate_free_connex_decompositions`)
+with duplicates in component structure removed.  ``choose_plan`` costs
+every candidate against one instance-statistics snapshot and picks the
+cheapest, ties broken towards the lowest index — so when the model cannot
+separate candidates, the default plan runs and the planner can never
+regress by tie-breaking alone.
+
+The returned :class:`PlanChoice` is the record surfaced everywhere: the
+materialization counts it into ``EngineStats``, stashes it on the prepared
+plan for ``repro explain`` (chosen candidate, losing candidates with their
+costs, estimated vs actual block rows) and annotates the ``plan_choice``
+span with its summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cq.query import ConjunctiveQuery
+from repro.data.instance import Instance
+from repro.planner.cost import estimate_decomposition
+from repro.planner.statistics import statistics_for
+from repro.yannakakis.decomposition import (
+    FreeConnexDecomposition,
+    enumerate_free_connex_decompositions,
+)
+
+__all__ = ["CandidatePlan", "PlanChoice", "choose_plan", "plan_candidates"]
+
+#: Candidate decompositions considered per query (the default plus up to
+#: ``limit - 1`` distinct ties); plan choice is linear in this.
+DEFAULT_CANDIDATE_LIMIT = 6
+
+
+def _signature(decomposition: FreeConnexDecomposition) -> frozenset:
+    """A structural key: two decompositions with equal keys run identically."""
+    return frozenset(
+        (
+            component.root,
+            frozenset(component.atoms),
+            frozenset(
+                frozenset((parent, child)) for parent, child in component.tree.edges()
+            ),
+        )
+        for component in decomposition.components
+    )
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """One costed candidate decomposition."""
+
+    index: int
+    decomposition: FreeConnexDecomposition = field(repr=False)
+    cost: float
+    estimated_rows: int
+
+    def as_dict(self) -> dict:
+        """The EXPLAIN shape of one candidate (structure + cost, no objects)."""
+        return {
+            "index": self.index,
+            "cost": round(self.cost, 3),
+            "estimated_rows": self.estimated_rows,
+            "components": [
+                {
+                    "root": component.root.relation,
+                    "atoms": sorted(atom.relation for atom in component.atoms),
+                }
+                for component in self.decomposition.components
+            ],
+        }
+
+
+@dataclass
+class PlanChoice:
+    """The outcome of one cost-based plan decision."""
+
+    chosen: CandidatePlan
+    candidates: list[CandidatePlan]
+    statistics_version: int
+    #: Filled in after the reduction ran: the actual reduced block rows
+    #: (``ReducedQuery.size()``), the estimate's ground truth.
+    actual_rows: int | None = None
+
+    @property
+    def decomposition(self) -> FreeConnexDecomposition:
+        return self.chosen.decomposition
+
+    @property
+    def estimated_rows(self) -> int:
+        return self.chosen.estimated_rows
+
+    def as_dict(self) -> dict:
+        """The EXPLAIN shape: the chosen plan plus every losing candidate."""
+        return {
+            "chosen": self.chosen.index,
+            "cost": round(self.chosen.cost, 3),
+            "estimated_rows": self.chosen.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "statistics_version": self.statistics_version,
+            "candidates": [candidate.as_dict() for candidate in self.candidates],
+        }
+
+
+def plan_candidates(
+    query: ConjunctiveQuery,
+    default: FreeConnexDecomposition | None = None,
+    limit: int = DEFAULT_CANDIDATE_LIMIT,
+) -> list[FreeConnexDecomposition]:
+    """Structurally distinct candidate decompositions, the default first.
+
+    ``query`` must already have a deduplicated head (the form prepared
+    plans carry); ``default`` is the decomposition the unplanned path
+    would run — always candidate 0, whether or not the tie enumeration
+    rediscovers it.
+    """
+    candidates: list[FreeConnexDecomposition] = []
+    seen: set[frozenset] = set()
+    if default is not None:
+        candidates.append(default)
+        seen.add(_signature(default))
+    for decomposition in enumerate_free_connex_decompositions(query, limit=limit):
+        if len(candidates) >= limit:
+            break
+        signature = _signature(decomposition)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        candidates.append(decomposition)
+    return candidates
+
+
+def choose_plan(
+    candidates: list[FreeConnexDecomposition], instance: Instance
+) -> PlanChoice | None:
+    """Cost ``candidates`` against ``instance`` and pick the cheapest.
+
+    Returns ``None`` on an empty candidate list.  With a single candidate
+    the choice degenerates to recording its estimate — still worth it for
+    the estimated-vs-actual telemetry.
+    """
+    if not candidates:
+        return None
+    statistics = statistics_for(instance)
+    costed = [
+        CandidatePlan(index, decomposition, *estimate_decomposition(decomposition, statistics))
+        for index, decomposition in enumerate(candidates)
+    ]
+    chosen = min(costed, key=lambda candidate: (candidate.cost, candidate.index))
+    return PlanChoice(
+        chosen=chosen, candidates=costed, statistics_version=statistics.version
+    )

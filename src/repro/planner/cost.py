@@ -1,0 +1,175 @@
+"""The textbook cardinality/cost model behind the plan choice.
+
+Standard System-R-style estimation over the statistics of
+:mod:`repro.planner.statistics`:
+
+* an atom's cardinality is the stored cardinality scaled by ``1/distinct``
+  for every constant position and every repeated-variable position
+  (equality selectivity under the uniformity assumption);
+* a semi-join ``parent ⋉ child`` keeps ``min(1, d_child / d_parent)`` of
+  the parent's rows, where ``d_X`` is the distinct count of the shared
+  variables on side ``X`` (the containment-of-value-sets assumption);
+* the cost of a bottom-up pass is the sum of build + probe sizes along the
+  component tree's edges, in the estimated (already semi-joined) sizes.
+
+A candidate decomposition's cost is the summed cost of its component
+passes plus the cross-block reduce and the enumeration walk over the
+estimated block rows.  The estimates feed two decisions: which candidate
+decomposition to run (:func:`repro.planner.choice.choose_plan`) and which
+semi-join kernel to use per edge (:func:`choose_semijoin_kernel`).
+"""
+
+from __future__ import annotations
+
+from repro.cq.atoms import Atom, Variable, is_variable
+from repro.planner.statistics import InstanceStatistics
+
+__all__ = [
+    "choose_semijoin_kernel",
+    "estimate_atom_cardinality",
+    "estimate_component",
+    "estimate_decomposition",
+]
+
+
+def estimate_atom_cardinality(atom: Atom, statistics: InstanceStatistics) -> float:
+    """Estimated matching rows of ``atom`` against the stored relation."""
+    stats = statistics.get(atom.relation, atom.arity)
+    if stats is None:
+        return 0.0
+    estimate = float(stats.cardinality)
+    seen: set[Variable] = set()
+    for position, term in enumerate(atom.args):
+        if is_variable(term):
+            if term in seen:
+                estimate *= stats.selectivity(position)
+            else:
+                seen.add(term)
+        else:
+            estimate *= stats.selectivity(position)
+    return estimate
+
+
+def _variable_positions(atom: Atom, variables: set[Variable]) -> list[int]:
+    """The first position of each of ``variables`` in ``atom``."""
+    positions: list[int] = []
+    found: set[Variable] = set()
+    for position, term in enumerate(atom.args):
+        if is_variable(term) and term in variables and term not in found:
+            found.add(term)
+            positions.append(position)
+    return positions
+
+
+def _distinct_on(
+    atom: Atom,
+    variables: set[Variable],
+    cardinality: float,
+    statistics: InstanceStatistics,
+) -> float:
+    """Estimated distinct value combinations of ``variables`` in ``atom``.
+
+    The product of per-position distinct counts under independence, capped
+    by the atom's own (estimated) cardinality — a relation can never have
+    more distinct keys than rows.
+    """
+    stats = statistics.get(atom.relation, atom.arity)
+    if stats is None:
+        return 0.0
+    combinations = 1.0
+    for position in _variable_positions(atom, variables):
+        combinations *= stats.distinct_at(position)
+    return max(1.0, min(combinations, max(cardinality, 1.0)))
+
+
+def estimate_component(component, statistics: InstanceStatistics) -> tuple[float, float]:
+    """``(cost, block_rows)`` of one component's bottom-up pass.
+
+    Simulates the semi-join pass towards the component root in estimated
+    sizes: every tree edge contributes its build + probe size to the cost
+    and shrinks the parent by the containment selectivity.  ``block_rows``
+    is the estimated size of the root's projection onto the component's
+    answer variables — the block relation the reduced query will hold.
+    """
+    estimates = {
+        atom: estimate_atom_cardinality(atom, statistics) for atom in component.atoms
+    }
+    cost = 0.0
+    for atom in component.tree.postorder():
+        parent = component.tree.parent(atom)
+        if parent is None:
+            continue
+        shared = set(atom.variables()) & set(parent.variables())
+        child_rows = estimates[atom]
+        parent_rows = estimates[parent]
+        cost += child_rows + parent_rows
+        if not shared:
+            if child_rows <= 0.0:
+                estimates[parent] = 0.0
+            continue
+        d_child = _distinct_on(atom, shared, child_rows, statistics)
+        d_parent = _distinct_on(parent, shared, parent_rows, statistics)
+        survival = min(1.0, d_child / d_parent) if d_parent > 0.0 else 0.0
+        estimates[parent] = parent_rows * survival
+    root_rows = estimates[component.root]
+    if component.answer_variables:
+        block_rows = min(
+            root_rows,
+            _distinct_on(
+                component.root,
+                set(component.answer_variables),
+                root_rows,
+                statistics,
+            ),
+        )
+    else:
+        block_rows = 0.0
+    return cost, block_rows
+
+
+def estimate_decomposition(
+    decomposition, statistics: InstanceStatistics
+) -> tuple[float, int]:
+    """``(cost, estimated_rows)`` of running one candidate decomposition.
+
+    ``estimated_rows`` is the estimated total size of the reduced block
+    database ``D1`` (the sum of the block relations), directly comparable
+    with ``ReducedQuery.size()`` — the estimated-vs-actual pair surfaced
+    in ``EngineStats`` and ``repro explain``.
+    """
+    total_cost = 0.0
+    total_rows = 0.0
+    for component in decomposition.components:
+        cost, block_rows = estimate_component(component, statistics)
+        total_cost += cost
+        total_rows += block_rows
+    # Cross-block full reducer (two passes over every block) plus the
+    # enumeration walk, all linear in the block rows.
+    total_cost += 3.0 * total_rows
+    return total_cost, int(total_rows)
+
+
+#: Minimum key-set size before the sorted-merge kernel is considered at
+#: all: below this, kernel choice is noise.
+_SORTED_KERNEL_MIN_KEYS = 256
+#: How many times larger than the probe side the key set must be for the
+#: sorted-run intersection (which first prunes the key set to the values
+#: actually present) to beat the straight hash probe.
+_SORTED_KERNEL_RATIO = 16
+
+
+def choose_semijoin_kernel(probe_rows: int, build_keys: int) -> str:
+    """``"hash"`` or ``"sorted"`` from the estimated build/probe sizes.
+
+    The hash kernel probes every row of the probe side against the key
+    set; the sorted-merge kernel intersects the sorted key runs first, so
+    it wins when the build-side key set dwarfs the probe side (the merge
+    prunes it to at most the probe side's distinct values before the row
+    filter runs).  Both kernels are set-identical by construction — this
+    is purely a constant-factor decision.
+    """
+    if build_keys >= _SORTED_KERNEL_MIN_KEYS and build_keys >= _SORTED_KERNEL_RATIO * max(
+        probe_rows, 1
+    ):
+        return "sorted"
+    return "hash"

@@ -79,6 +79,9 @@ class ServiceConfig:
     incremental: bool = True
     #: ``None`` defers to the process default (``REPRO_NO_CODEGEN``).
     codegen: bool | None = None
+    #: Cost-based plan choice tri-state; ``None`` defers to the process
+    #: default (``REPRO_NO_PLANNER``).
+    planner: bool | None = None
     #: Request-tracing tri-state: ``True`` traces every request, ``False``
     #: hard-disables tracing (the ``X-Repro-Trace`` header is ignored),
     #: ``None`` traces requests that ask for it — an ``X-Repro-Trace``
@@ -95,6 +98,7 @@ class ServiceConfig:
         """The engine-facing view of this config (one options object)."""
         return ExecutionOptions(
             codegen=self.codegen,
+            planner=self.planner,
             incremental=self.incremental,
             strict=self.strict,
             plan_cache_size=self.plan_cache_size,

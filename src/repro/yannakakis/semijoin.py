@@ -43,7 +43,19 @@ def semijoin(left: AtomRelation, right: AtomRelation) -> bool:
 
         surviving = maybe_parallel_filter(store, positions, right_keys)
         if surviving is None:
-            surviving = store.filter_by_keys(positions, right_keys)
+            # Inside a planner scope, single-column edges pick hash vs
+            # sorted-merge from the build/probe sizes; outside one,
+            # ``planned_kernel`` always answers "hash" (the historical
+            # kernel).  Both kernels return the same row set.
+            from repro.planner.kernels import planned_kernel
+
+            if (
+                len(positions) == 1
+                and planned_kernel(len(left.tuples), len(right_keys)) == "sorted"
+            ):
+                surviving = store.filter_by_keys_sorted(positions[0], right_keys)
+            else:
+                surviving = store.filter_by_keys(positions, right_keys)
     else:
         surviving = [
             row for row in left.tuples if tuple(row[p] for p in positions) in right_keys

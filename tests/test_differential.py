@@ -13,6 +13,8 @@ reference implementation:
   ``REPRO_NO_INTERN`` term-object store,
 * per-plan code generation (compiled walks/kernels/matchers) and the
   ``REPRO_NO_CODEGEN`` interpreted paths,
+* the cost-based plan choice (candidate decompositions + per-edge kernel
+  selection) and the ``REPRO_NO_PLANNER`` default-plan path,
 * the sharded multi-process backend (``workers >= 2``): parallel chase,
   worker-pool batch enumeration, and pool re-forks across mutations — the
   cross-process differential harness of ``docs/parallel.md``.
@@ -32,7 +34,7 @@ from repro.baselines.naive import naive_certain_answers
 from repro.core import OMQ
 from repro.core.enumeration import CompleteAnswerEnumerator
 from repro.cq.parser import parse_query
-from repro.config import use_codegen
+from repro.config import use_codegen, use_planner
 from repro.data import Database, Fact, use_interning
 from repro.engine import QueryEngine
 from repro.parallel import active_segments
@@ -219,6 +221,38 @@ def test_codegen_on_and_off_agree(templates, query_text, facts):
     assert compiled_engine == expected
 
 
+@given(
+    templates=ontology_strategy,
+    query_text=query_strategy,
+    facts=facts_strategy,
+    extra=st.lists(fact_strategy, min_size=1, max_size=3),
+)
+def test_planner_on_and_off_agree(templates, query_text, facts, extra):
+    """The cost-based plan choice == the default decomposition == naive,
+    cold, cached, and across a mutation (incremental maintenance of the
+    chosen plan's state)."""
+    omq = _build_omq(templates, query_text)
+    with use_planner(True):
+        planned_db = Database(facts)
+        planned_engine = QueryEngine(omq.ontology, planned_db)
+        planned_cold = planned_engine.execute(omq.query)
+        planned_cached = planned_engine.execute(omq.query)
+    with use_planner(False):
+        default_db = Database(facts)
+        default_engine = QueryEngine(omq.ontology, default_db)
+        default_cold = default_engine.execute(omq.query)
+        expected = naive_certain_answers(omq, default_db)
+    assert planned_cold == planned_cached == default_cold == expected
+    with use_planner(True):
+        planned_db.add_facts(extra)
+        planned_mutated = planned_engine.execute(omq.query)
+    with use_planner(False):
+        default_db.add_facts(extra)
+        mutated_expected = naive_certain_answers(omq, default_db)
+        assert default_engine.execute(omq.query) == mutated_expected
+    assert planned_mutated == mutated_expected
+
+
 _parallel_supported = parallel_supported()
 
 
@@ -257,20 +291,25 @@ def test_parallel_workers_match_naive(templates, query_text, facts):
     extra=st.lists(fact_strategy, min_size=1, max_size=3),
 )
 def test_differential_sweep_slow(templates, query_text, facts, extra):
-    """Nightly sweep: all paths, both stores, both codegen modes, across a
-    mutation."""
+    """Nightly sweep: all paths, both stores, both codegen modes, both
+    planner modes, across a mutation."""
     omq = _build_omq(templates, query_text)
     for interned in (True, False):
         for codegen in (True, False):
-            with use_interning(interned), use_codegen(codegen):
-                database = Database(facts)
-                expected = naive_certain_answers(omq, database)
-                assert set(CompleteAnswerEnumerator(omq, database)) == expected
-                engine = QueryEngine(omq.ontology, database)
-                assert engine.execute(omq.query) == expected
-                database.add_facts(extra)
-                mutated_expected = naive_certain_answers(omq, database)
-                assert engine.execute(omq.query) == mutated_expected
+            for planner in (True, False):
+                with (
+                    use_interning(interned),
+                    use_codegen(codegen),
+                    use_planner(planner),
+                ):
+                    database = Database(facts)
+                    expected = naive_certain_answers(omq, database)
+                    assert set(CompleteAnswerEnumerator(omq, database)) == expected
+                    engine = QueryEngine(omq.ontology, database)
+                    assert engine.execute(omq.query) == expected
+                    database.add_facts(extra)
+                    mutated_expected = naive_certain_answers(omq, database)
+                    assert engine.execute(omq.query) == mutated_expected
 
 
 @pytest.mark.slow

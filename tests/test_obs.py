@@ -463,7 +463,7 @@ class TestExplainReport:
         # Canonical pipeline order first, whatever extra spans after.
         pipeline = [
             p
-            for p in ("parse", "plan", "chase", "reduce", "enumerate")
+            for p in ("parse", "plan", "chase", "plan_choice", "reduce", "enumerate")
             if p in report["phases"]
         ]
         assert phase_names[: len(pipeline)] == pipeline
